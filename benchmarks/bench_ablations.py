@@ -1,0 +1,59 @@
+"""Ablation benchmarks for the design decisions described in Section IV.
+
+Each ablation keeps the algorithmic work identical and flips exactly one of
+LOGAN's design choices in the execution model:
+
+* threads per block proportional to X vs the naive 1024-thread launch;
+* anti-diagonal buffers in HBM vs reserved shared memory (occupancy);
+* host-side sequence reversal (coalesced loads) on vs off;
+* warp-shuffle max reduction vs a serial per-block scan;
+* work-aware multi-GPU load balancing vs equal-count round-robin.
+
+In every case the LOGAN choice must not be slower, and for the conditions
+the paper motivates them with, it must be clearly faster.
+"""
+
+from __future__ import annotations
+
+
+def test_ablation_threads_proportional_to_x(run_experiment):
+    table = run_experiment("ablation_threads")
+    for row in table.rows:
+        # Fixed 1024-thread blocks are never faster, and clearly slower for
+        # small X where most scheduled threads would stall.
+        assert row.values["slowdown_fixed"] >= 0.999
+    small_x_row = table.rows[0]
+    assert small_x_row.values["slowdown_fixed"] > 1.5
+
+
+def test_ablation_memory_placement(run_experiment):
+    table = run_experiment("ablation_memory")
+    hbm, shared = table.rows
+    # Reserving the anti-diagonal buffers in shared memory collapses
+    # occupancy (Section IV-B) and costs kernel time.
+    assert shared.values["blocks_per_sm"] < hbm.values["blocks_per_sm"]
+    assert shared.values["slowdown"] > 1.2
+
+
+def test_ablation_sequence_reversal(run_experiment):
+    table = run_experiment("ablation_reversal")
+    coalesced, reversed_off = table.rows
+    # Disabling the reversal multiplies sequence DRAM traffic and never helps.
+    assert reversed_off.values["hbm_gb"] > coalesced.values["hbm_gb"]
+    assert reversed_off.values["memory_s"] > coalesced.values["memory_s"]
+    assert reversed_off.values["slowdown"] >= 1.0
+
+
+def test_ablation_warp_reduction(run_experiment):
+    table = run_experiment("ablation_reduction")
+    shuffle, serial = table.rows
+    assert serial.values["warp_instructions"] > shuffle.values["warp_instructions"]
+    assert serial.values["slowdown"] > 1.05
+
+
+def test_ablation_load_balancing(run_experiment):
+    table = run_experiment("ablation_loadbalance")
+    smart, naive = table.rows
+    # The length-aware split is at least as balanced and never slower.
+    assert smart.values["imbalance"] <= naive.values["imbalance"] + 1e-9
+    assert naive.values["slowdown"] >= 0.999

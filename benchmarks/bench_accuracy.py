@@ -1,0 +1,21 @@
+"""Accuracy — the paper's "equivalent accuracy" claim (Section VI).
+
+LOGAN's scores must equal SeqAn's X-drop scores for every pair and every X
+(both implement the same recurrence), and for large X both approach the
+exact un-pruned extension score.
+"""
+
+from __future__ import annotations
+
+
+def test_accuracy_equivalence(run_experiment):
+    table = run_experiment("accuracy")
+    for row in table.rows:
+        # Every single pair scores identically to the SeqAn-style reference.
+        assert row.values["identical_to_seqan"] == row.values["pairs"]
+        # X-drop can only under-estimate the exact extension score.
+        assert row.values["fraction_of_exact"] <= 1.0 + 1e-9
+    # The fraction of the exact score recovered grows with X and approaches 1.
+    fractions = table.column("fraction_of_exact")
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > 0.95

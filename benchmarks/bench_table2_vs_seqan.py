@@ -1,0 +1,38 @@
+"""Table II / Fig. 8 — LOGAN vs SeqAn (168 POWER9 threads), 100 K pairs.
+
+Paper reference: SeqAn grows from 5.1 s (X=10) to 176.6 s (X=5000) while
+LOGAN stays between 2.2 s and 26.7 s on one V100 (1.9-5.8 s on six), giving
+speed-ups of 2.3-6.6x (1 GPU) and 2.7-30.7x (6 GPUs) that *increase with X*.
+
+The reproduced table checks those shape claims on the modeled platforms:
+monotone growth of the baseline, saturation of LOGAN, speed-up > 1 and
+increasing with X, and 6 GPUs at least as fast as 1.
+"""
+
+from __future__ import annotations
+
+
+def test_table2_logan_vs_seqan(run_experiment):
+    table = run_experiment("table2")
+    xs = [row.parameter for row in table.rows]
+    seqan = table.column("seqan_168t_s")
+    logan1 = table.column("logan_1gpu_s")
+    logan6 = table.column("logan_6gpu_s")
+    speedup1 = table.column("speedup_1gpu")
+    speedup6 = table.column("speedup_6gpu")
+
+    # SeqAn's runtime grows monotonically with X.
+    assert all(b >= a for a, b in zip(seqan, seqan[1:]))
+    # LOGAN's runtime grows far more slowly than the CPU baseline:
+    # the ratio of largest-X to smallest-X runtimes is much smaller.
+    assert (logan1[-1] / logan1[0]) < 0.5 * (seqan[-1] / seqan[0])
+    # LOGAN wins everywhere, and by more as X grows.
+    assert all(s > 1.0 for s in speedup1)
+    assert speedup1[-1] > 1.5 * speedup1[0]
+    # Six GPUs are never slower than one and win big at large X.
+    assert all(s6 <= s1 * 1.05 for s1, s6 in zip(logan1, logan6))
+    assert speedup6[-1] > 2.0 * speedup1[-1]
+    # Crossover location: the single-GPU speed-up is modest (< 4x) at the
+    # smallest X and largest at the biggest X, as in Fig. 8.
+    assert speedup1[0] < 4.0
+    assert max(speedup1) == speedup1[-1]

@@ -1,0 +1,32 @@
+"""Table III / Fig. 9 — LOGAN vs ksw2 (80 Skylake threads), 100 K pairs.
+
+Paper reference: ksw2 is competitive at small X (6.9-10.4 s for X<=100) but
+its runtime explodes for large X (3213 s at X=5000), while LOGAN saturates
+below ~30 s; single-GPU speed-ups range from ~3x to ~120x and 8-GPU
+speed-ups reach ~560x.
+
+The reproduction checks the explosion of the baseline, the saturation of
+LOGAN and the growth of the speed-up with X.
+"""
+
+from __future__ import annotations
+
+
+def test_table3_logan_vs_ksw2(run_experiment):
+    table = run_experiment("table3")
+    ksw2 = table.column("ksw2_80t_s")
+    logan1 = table.column("logan_1gpu_s")
+    speedup1 = table.column("speedup_1gpu")
+    speedup8 = table.column("speedup_8gpu")
+
+    # ksw2 cost explodes with X (orders of magnitude), LOGAN's does not.
+    assert ksw2[-1] > 50 * ksw2[0]
+    assert logan1[-1] < 20 * logan1[0]
+    # ksw2 runtime is monotone in X.
+    assert all(b >= a for a, b in zip(ksw2, ksw2[1:]))
+    # LOGAN always wins at large X and the advantage grows dramatically.
+    assert speedup1[-1] > 10.0
+    assert speedup1[-1] > 5 * speedup1[0]
+    # Eight GPUs multiply the advantage further.
+    assert all(s8 >= s1 for s1, s8 in zip(speedup1, speedup8))
+    assert speedup8[-1] > 2 * speedup1[-1]

@@ -1,0 +1,43 @@
+"""Pytest configuration shared by the benchmark suite.
+
+Ensures the repository root is importable (so ``from benchmarks import
+harness`` works when pytest is invoked from any directory) and provides a
+helper fixture that runs a harness experiment exactly once under
+pytest-benchmark timing and prints the reproduced table.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
+
+from benchmarks import harness  # noqa: E402
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one harness experiment under the benchmark timer and print it.
+
+    The experiment is executed exactly once (``rounds=1``): the quantity of
+    interest is the reproduced table itself, not the harness's own wall
+    clock, and a single round keeps the whole suite fast.
+    """
+
+    def _run(name: str, **kwargs):
+        scale = harness.bench_scale()
+        table = benchmark.pedantic(
+            lambda: harness.run_experiment(name, scale=scale), rounds=1, iterations=1
+        )
+        benchmark.extra_info["experiment"] = name
+        benchmark.extra_info["rows"] = len(table.rows)
+        print()
+        print(table.formatted())
+        return table
+
+    return _run

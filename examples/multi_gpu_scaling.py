@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multi-GPU scaling and load balancing (Section IV-C / Fig. 12).
+
+Aligns one sample batch, then re-models it on 1-8 V100s with both load
+balancing policies (LOGAN's length-aware split and a naive equal-count
+split), showing how throughput scales and where the load-balancer overhead
+starts to bite — the effect the paper lists as future work to remove.
+
+Run with::
+
+    python examples/multi_gpu_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.data import PairSetSpec, generate_pair_set
+from repro.gpusim import MultiGpuSystem
+from repro.logan import LoganAligner
+
+PAPER_PAIRS = 100_000
+XDROP = 1000
+
+
+def main() -> None:
+    # A deliberately skewed read-length mix so balancing actually matters.
+    long_spec = PairSetSpec(num_pairs=3, min_length=6000, max_length=7500,
+                            seed_placement="start", rng_seed=1)
+    short_spec = PairSetSpec(num_pairs=9, min_length=2500, max_length=3500,
+                             seed_placement="start", rng_seed=2)
+    jobs = generate_pair_set(long_spec) + generate_pair_set(short_spec)
+    replication = PAPER_PAIRS / len(jobs)
+
+    print(f"aligning {len(jobs)} sampled pairs once (X={XDROP}), "
+          f"then re-modeling on 1-8 GPUs")
+    base = LoganAligner(system=MultiGpuSystem.homogeneous(1), xdrop=XDROP).align_batch(
+        jobs, replication=replication
+    )
+    print(f"single-GPU modeled time: {base.modeled_seconds:.2f} s "
+          f"({base.modeled_gcups:.1f} GCUPS)")
+    print()
+    header = (f"{'GPUs':>5s} {'cells policy s':>15s} {'count policy s':>15s} "
+              f"{'GCUPS':>8s} {'speedup':>8s} {'imbalance':>10s}")
+    print(header)
+    for gpus in range(1, 9):
+        smart = LoganAligner(
+            system=MultiGpuSystem.homogeneous(gpus), xdrop=XDROP, balancer_policy="cells"
+        ).model_existing(jobs, base.results, replication=replication)
+        naive = LoganAligner(
+            system=MultiGpuSystem.homogeneous(gpus), xdrop=XDROP, balancer_policy="count"
+        ).model_existing(jobs, base.results, replication=replication)
+        print(
+            f"{gpus:>5d} {smart.modeled_seconds:>15.2f} {naive.modeled_seconds:>15.2f} "
+            f"{smart.modeled_gcups:>8.1f} "
+            f"{base.modeled_seconds / smart.modeled_seconds:>8.2f} "
+            f"{smart.multi_gpu.load_imbalance:>10.2f}"
+        )
+    print()
+    print("Computing time shrinks with the device count, but the serial host "
+          "preprocessing and the per-device balancer overhead grow, so scaling "
+          "flattens — exactly the behaviour discussed in the paper's conclusions.")
+
+
+if __name__ == "__main__":
+    main()

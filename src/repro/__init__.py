@@ -1,0 +1,70 @@
+"""repro — a laptop-scale reproduction of LOGAN (IPDPS 2020).
+
+LOGAN is the first high-performance multi-GPU implementation of the X-drop
+pairwise-alignment heuristic.  This package re-implements the full system in
+pure Python/NumPy:
+
+* :mod:`repro.core` — the X-drop extension algorithm (scalar reference and
+  vectorised kernel), scoring schemes, seed-and-extend;
+* :mod:`repro.baselines` — Smith–Waterman, Needleman–Wunsch, banded SW,
+  ksw2-style Z-drop, SeqAn-like CPU batch runner, CUDASW++/manymap
+  throughput models;
+* :mod:`repro.gpusim` — an execution/performance model of an NVIDIA V100
+  class GPU (SMs, warp schedulers, occupancy, HBM) used in place of real
+  CUDA hardware;
+* :mod:`repro.logan` — the LOGAN kernel/batch/host/multi-GPU layers built on
+  the GPU model;
+* :mod:`repro.bella` — the BELLA long-read overlapper substrate (k-mers,
+  SpGEMM overlap detection, adaptive threshold, pipeline);
+* :mod:`repro.data` — FASTA/FASTQ I/O, synthetic genomes and long reads,
+  benchmark pair sets and named datasets;
+* :mod:`repro.roofline` — the adapted instruction Roofline model (Eq. 1);
+* :mod:`repro.perf` — timers, GCUPS/speed-up metrics, process-pool helpers.
+
+Quickstart
+----------
+
+>>> from repro import xdrop_extend, ScoringScheme
+>>> res = xdrop_extend("ACGTACGTTT", "ACGTACGTAA", ScoringScheme(), xdrop=10)
+>>> res.best_score
+8
+"""
+
+from __future__ import annotations
+
+from .core import (
+    DEFAULT_SCORING,
+    AffineScoringScheme,
+    ExtensionResult,
+    Seed,
+    SeedAlignmentResult,
+    ScoringScheme,
+    decode,
+    encode,
+    exact_extension_score,
+    extend_seed,
+    random_sequence,
+    reverse_complement,
+    xdrop_extend,
+    xdrop_extend_reference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ScoringScheme",
+    "AffineScoringScheme",
+    "DEFAULT_SCORING",
+    "ExtensionResult",
+    "SeedAlignmentResult",
+    "Seed",
+    "encode",
+    "decode",
+    "random_sequence",
+    "reverse_complement",
+    "xdrop_extend",
+    "xdrop_extend_reference",
+    "exact_extension_score",
+    "extend_seed",
+]

@@ -1,0 +1,65 @@
+"""Baseline algorithms and platform cost models LOGAN is compared against.
+
+* Exact quadratic algorithms: :func:`smith_waterman`, :func:`needleman_wunsch`,
+  :func:`banded_smith_waterman` (accuracy oracles and Fig. 2 / Fig. 12 inputs);
+* :func:`ksw2_extend` + :class:`Ksw2BatchAligner` — minimap2's Z-drop kernel
+  and its 80-thread Skylake configuration (Table III / Fig. 9);
+* :class:`SeqAnBatchAligner` — the SeqAn X-drop + OpenMP configuration BELLA
+  uses on the 168-thread POWER9 node (Table II / Fig. 8);
+* CPU platform specs and cost models (:mod:`repro.baselines.platforms`);
+* GPU competitor throughput models (:mod:`repro.baselines.gpu_competitors`).
+"""
+
+from .banded import band_cells, banded_smith_waterman
+from .gpu_competitors import (
+    CUDASW_GPU_ONLY,
+    CUDASW_HYBRID_SIMD,
+    MANYMAP,
+    GpuThroughputModel,
+)
+from .ksw2 import Ksw2Result, ksw2_extend, ksw2_extend_affine_oracle
+from .ksw2_batch import (
+    KSW2_SKYLAKE_BAND_MODEL,
+    Ksw2BatchAligner,
+    Ksw2BatchResult,
+    Ksw2CostModel,
+)
+from .needleman_wunsch import needleman_wunsch, needleman_wunsch_matrix
+from .platforms import (
+    KSW2_SKYLAKE_MODEL,
+    POWER9_PLATFORM,
+    SEQAN_POWER9_MODEL,
+    SKYLAKE_PLATFORM,
+    CpuCostModel,
+    CpuPlatformSpec,
+)
+from .seqan_like import SeqAnBatchAligner, SeqAnBatchResult
+from .smith_waterman import smith_waterman, smith_waterman_matrix
+
+__all__ = [
+    "smith_waterman",
+    "smith_waterman_matrix",
+    "needleman_wunsch",
+    "needleman_wunsch_matrix",
+    "banded_smith_waterman",
+    "band_cells",
+    "ksw2_extend",
+    "ksw2_extend_affine_oracle",
+    "Ksw2Result",
+    "Ksw2BatchAligner",
+    "Ksw2BatchResult",
+    "Ksw2CostModel",
+    "KSW2_SKYLAKE_BAND_MODEL",
+    "SeqAnBatchAligner",
+    "SeqAnBatchResult",
+    "CpuPlatformSpec",
+    "CpuCostModel",
+    "POWER9_PLATFORM",
+    "SKYLAKE_PLATFORM",
+    "SEQAN_POWER9_MODEL",
+    "KSW2_SKYLAKE_MODEL",
+    "GpuThroughputModel",
+    "CUDASW_GPU_ONLY",
+    "CUDASW_HYBRID_SIMD",
+    "MANYMAP",
+]

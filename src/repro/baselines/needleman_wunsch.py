@@ -1,0 +1,79 @@
+"""Exact Needleman–Wunsch global alignment (quadratic baseline).
+
+Provides the second classical exact algorithm the paper contrasts X-drop
+against.  Like the Smith–Waterman module, rows are computed with vectorised
+NumPy and the horizontal dependency is a prefix-maximum scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.encoding import SequenceLike, encode
+from ..core.result import FullAlignmentResult
+from ..core.scoring import ScoringScheme
+
+__all__ = ["needleman_wunsch", "needleman_wunsch_matrix"]
+
+
+def _nw_rows(q: np.ndarray, t: np.ndarray, scoring: ScoringScheme, keep: bool):
+    m, n = len(q), len(t)
+    match, mismatch, gap = scoring.as_tuple()
+    col = np.arange(0, n + 1, dtype=np.int64)
+    col_gap = col * gap
+    prev = col_gap.copy()
+    matrix = np.empty((m + 1, n + 1), dtype=np.int64) if keep else None
+    if keep:
+        matrix[0] = prev
+    for i in range(1, m + 1):
+        sub = np.where((t == q[i - 1]) & (t != 4), match, mismatch).astype(np.int64)
+        cand = np.empty(n + 1, dtype=np.int64)
+        cand[0] = i * gap
+        np.maximum(prev[:-1] + sub, prev[1:] + gap, out=cand[1:])
+        shifted = cand - col_gap
+        np.maximum.accumulate(shifted, out=shifted)
+        prev = shifted + col_gap
+        if keep:
+            matrix[i] = prev
+    return prev, matrix
+
+
+def needleman_wunsch(
+    query: SequenceLike,
+    target: SequenceLike,
+    scoring: ScoringScheme = ScoringScheme(),
+) -> FullAlignmentResult:
+    """Best global alignment score of *query* against *target*.
+
+    The global score is the value of the bottom-right DP cell ``S(m, n)``;
+    every cell of the quadratic matrix must be evaluated.
+    """
+    q = encode(query)
+    t = encode(target)
+    last_row, _ = _nw_rows(q, t, scoring, keep=False)
+    m, n = len(q), len(t)
+    return FullAlignmentResult(
+        best_score=int(last_row[n]),
+        query_end=m,
+        target_end=n,
+        cells_computed=(m + 1) * (n + 1),
+    )
+
+
+def needleman_wunsch_matrix(
+    query: SequenceLike,
+    target: SequenceLike,
+    scoring: ScoringScheme = ScoringScheme(),
+) -> FullAlignmentResult:
+    """Needleman–Wunsch that also returns the full DP matrix (small inputs only)."""
+    q = encode(query)
+    t = encode(target)
+    m, n = len(q), len(t)
+    _, matrix = _nw_rows(q, t, scoring, keep=True)
+    return FullAlignmentResult(
+        best_score=int(matrix[m, n]),
+        query_end=m,
+        target_end=n,
+        cells_computed=(m + 1) * (n + 1),
+        matrix=matrix,
+    )

@@ -1,0 +1,31 @@
+"""BELLA: long-read many-to-many overlap detection and alignment substrate."""
+
+from .binning import SeedChoice, choose_seed, estimate_overlap_length
+from .kmer import KmerIndex, build_kmer_index, count_kmers, pack_kmers, reliable_kmer_range
+from .overlap import (
+    CandidateOverlap,
+    OverlapMatrix,
+    build_occurrence_matrix,
+    find_candidate_overlaps,
+)
+from .pipeline import BellaOverlap, BellaPipeline, BellaResult
+from .threshold import AdaptiveThreshold
+
+__all__ = [
+    "pack_kmers",
+    "count_kmers",
+    "reliable_kmer_range",
+    "build_kmer_index",
+    "KmerIndex",
+    "CandidateOverlap",
+    "OverlapMatrix",
+    "build_occurrence_matrix",
+    "find_candidate_overlaps",
+    "SeedChoice",
+    "choose_seed",
+    "estimate_overlap_length",
+    "AdaptiveThreshold",
+    "BellaPipeline",
+    "BellaResult",
+    "BellaOverlap",
+]

@@ -1,0 +1,82 @@
+"""Adaptive alignment-score threshold (BELLA stage 4 classification).
+
+After the X-drop alignment, BELLA "separat[es] true alignments from false
+positives using an adaptive threshold based on a combination of alignment
+techniques and probabilistic modeling" (Section V): a genuine overlap of
+length ``L`` between reads with per-base accuracy ``1 - e`` is expected to
+score about ``phi * L`` where ``phi`` is the expected per-base score at the
+pair's error rate, so the score threshold *adapts* to the estimated overlap
+length rather than being a single global cut-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.scoring import ScoringScheme
+from ..errors import ConfigurationError
+
+__all__ = ["AdaptiveThreshold"]
+
+
+@dataclass(frozen=True)
+class AdaptiveThreshold:
+    """Length-adaptive score threshold for overlap classification.
+
+    Attributes
+    ----------
+    error_rate:
+        Per-read error rate ``e``; the pairwise identity is modeled as
+        ``(1 - e)^2`` (both copies of a base must be correct to match).
+    scoring:
+        The scoring scheme used by the aligner.
+    slack:
+        Multiplier in (0, 1] applied to the expected score: genuine overlaps
+        fluctuate below their expectation, so requiring the full expected
+        score would cost recall.  BELLA's default corresponds to ~0.7.
+    min_overlap:
+        Overlaps estimated shorter than this are rejected outright
+        (BELLA defaults to 2 kb for genome assembly workloads; the library
+        default is lower so that small test datasets remain usable).
+    """
+
+    error_rate: float = 0.15
+    scoring: ScoringScheme = ScoringScheme()
+    slack: float = 0.7
+    min_overlap: int = 500
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ConfigurationError("error_rate must be in [0, 1)")
+        if not 0.0 < self.slack <= 1.0:
+            raise ConfigurationError("slack must be in (0, 1]")
+        if self.min_overlap < 0:
+            raise ConfigurationError("min_overlap must be non-negative")
+
+    @property
+    def pairwise_identity(self) -> float:
+        """Probability that a given base matches between the two reads."""
+        return (1.0 - self.error_rate) ** 2
+
+    @property
+    def expected_score_per_base(self) -> float:
+        """Expected alignment score per overlap base (``phi``).
+
+        Matching bases gain ``match``; non-matching bases cost (on average)
+        the mismatch penalty — a slight overestimate of the loss because the
+        aligner may prefer a cheaper gap, which the ``slack`` factor absorbs.
+        """
+        p = self.pairwise_identity
+        return p * self.scoring.match + (1.0 - p) * self.scoring.mismatch
+
+    def threshold_for(self, overlap_length: int) -> float:
+        """Minimum score required for an overlap of the given estimated length."""
+        if overlap_length < 0:
+            raise ConfigurationError("overlap_length must be non-negative")
+        return self.slack * self.expected_score_per_base * overlap_length
+
+    def passes(self, score: float, overlap_length: int) -> bool:
+        """Whether an alignment score certifies a genuine overlap."""
+        if overlap_length < self.min_overlap:
+            return False
+        return score >= self.threshold_for(overlap_length)

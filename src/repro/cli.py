@@ -1,0 +1,297 @@
+"""Command-line interface.
+
+Three console scripts are installed with the package:
+
+``repro-align``
+    Align a synthetic benchmark pair set (or two FASTA files) with LOGAN and
+    optionally the SeqAn-like CPU baseline, printing per-batch timing, GCUPS
+    and modeled platform runtimes.
+
+``repro-bella``
+    Run the BELLA overlap pipeline on a named synthetic dataset preset (or a
+    FASTA file) with a selectable alignment kernel.
+
+``repro-bench``
+    Regenerate one of the paper's tables/figures from the benchmark harness
+    without going through pytest (useful for quick sweeps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .baselines import SeqAnBatchAligner
+from .bella import BellaPipeline
+from .core import ScoringScheme, Seed, encode
+from .core.job import AlignmentJob
+from .data import PairSetSpec, generate_pair_set, load_dataset, read_fasta
+from .gpusim import MultiGpuSystem
+from .logan import LoganAligner
+
+__all__ = ["main_align", "main_bella", "main_bench"]
+
+
+def _scoring_from_args(args: argparse.Namespace) -> ScoringScheme:
+    return ScoringScheme(match=args.match, mismatch=args.mismatch, gap=args.gap)
+
+
+def _add_scoring_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--match", type=int, default=1, help="match score (default 1)")
+    parser.add_argument(
+        "--mismatch", type=int, default=-1, help="mismatch score (default -1)"
+    )
+    parser.add_argument("--gap", type=int, default=-1, help="gap score (default -1)")
+
+
+# --------------------------------------------------------------------------- #
+# repro-align
+# --------------------------------------------------------------------------- #
+def main_align(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-align``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-align",
+        description="Batch X-drop alignment with the LOGAN GPU execution model.",
+    )
+    parser.add_argument("--pairs", type=int, default=100, help="number of synthetic pairs")
+    parser.add_argument("--min-length", type=int, default=1000)
+    parser.add_argument("--max-length", type=int, default=2000)
+    parser.add_argument("--error-rate", type=float, default=0.15)
+    parser.add_argument("--xdrop", "-x", type=int, default=100, help="X-drop threshold")
+    parser.add_argument("--gpus", type=int, default=1, help="modeled GPU count")
+    parser.add_argument("--workers", type=int, default=1, help="local worker processes")
+    parser.add_argument("--seed", type=int, default=2020, help="random seed")
+    parser.add_argument(
+        "--replicate-to",
+        type=int,
+        default=None,
+        help="model a workload of this many pairs using the generated sample",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the SeqAn-like CPU baseline and report the speed-up",
+    )
+    parser.add_argument(
+        "--query-fasta", type=str, default=None, help="align records of this FASTA"
+    )
+    parser.add_argument(
+        "--target-fasta", type=str, default=None, help="against records of this FASTA"
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    _add_scoring_arguments(parser)
+    args = parser.parse_args(argv)
+
+    scoring = _scoring_from_args(args)
+    if args.query_fasta and args.target_fasta:
+        queries = [r.sequence for r in read_fasta(args.query_fasta)]
+        targets = [r.sequence for r in read_fasta(args.target_fasta)]
+        if len(queries) != len(targets):
+            parser.error("query and target FASTA files must have the same record count")
+        jobs = [
+            AlignmentJob(
+                query=encode(q), target=encode(t), seed=Seed(0, 0, 1), pair_id=i
+            )
+            for i, (q, t) in enumerate(zip(queries, targets))
+        ]
+    else:
+        spec = PairSetSpec(
+            num_pairs=args.pairs,
+            min_length=args.min_length,
+            max_length=args.max_length,
+            pairwise_error_rate=args.error_rate,
+            rng_seed=args.seed,
+        )
+        jobs = generate_pair_set(spec)
+
+    replication = 1.0
+    if args.replicate_to:
+        replication = max(1.0, args.replicate_to / len(jobs))
+
+    aligner = LoganAligner(
+        system=MultiGpuSystem.homogeneous(args.gpus),
+        scoring=scoring,
+        xdrop=args.xdrop,
+        workers=args.workers,
+    )
+    result = aligner.align_batch(jobs, replication=replication)
+
+    payload = {
+        "pairs": len(jobs),
+        "replication": replication,
+        "xdrop": args.xdrop,
+        "gpus": args.gpus,
+        "threads_per_block": result.threads_per_block,
+        "measured_seconds": result.elapsed_seconds,
+        "measured_gcups": result.measured_gcups(),
+        "modeled_seconds": result.modeled_seconds,
+        "modeled_gcups": result.modeled_gcups,
+        "mean_score": float(np.mean(result.scores())),
+    }
+    if args.baseline:
+        baseline = SeqAnBatchAligner(scoring=scoring, xdrop=args.xdrop, workers=args.workers)
+        bres = baseline.align_batch(jobs)
+        payload["baseline_modeled_seconds"] = baseline.modeled_seconds_for(
+            bres.summary.scaled(replication)
+        )
+        payload["modeled_speedup"] = (
+            payload["baseline_modeled_seconds"] / payload["modeled_seconds"]
+            if payload["modeled_seconds"] > 0
+            else float("inf")
+        )
+        payload["scores_identical"] = [r.score for r in result.results] == [
+            r.score for r in bres.results
+        ]
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>26s}: {value}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-bella
+# --------------------------------------------------------------------------- #
+def main_bella(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-bella``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bella",
+        description="Run the BELLA long-read overlap pipeline on a synthetic dataset.",
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=["ecoli_like", "celegans_like"],
+        default="ecoli_like",
+        help="synthetic dataset preset",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1, help="down-scaling factor of the preset"
+    )
+    parser.add_argument("--fasta", type=str, default=None, help="use reads from this FASTA")
+    parser.add_argument("--kmer", "-k", type=int, default=17)
+    parser.add_argument("--xdrop", "-x", type=int, default=25)
+    parser.add_argument(
+        "--aligner", choices=["seqan", "logan"], default="logan", help="alignment kernel"
+    )
+    parser.add_argument("--gpus", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--min-overlap", type=int, default=500)
+    parser.add_argument("--json", action="store_true")
+    _add_scoring_arguments(parser)
+    args = parser.parse_args(argv)
+
+    scoring = _scoring_from_args(args)
+    if args.fasta:
+        reads = [r.sequence for r in read_fasta(args.fasta)]
+        error_rate = 0.15
+    else:
+        dataset = load_dataset(args.dataset, scale=args.scale)
+        reads = dataset.reads
+        error_rate = dataset.preset.error_rate
+
+    if args.aligner == "logan":
+        kernel = LoganAligner(
+            system=MultiGpuSystem.homogeneous(args.gpus),
+            scoring=scoring,
+            xdrop=args.xdrop,
+            workers=args.workers,
+        )
+    else:
+        kernel = SeqAnBatchAligner(scoring=scoring, xdrop=args.xdrop, workers=args.workers)
+
+    pipeline = BellaPipeline(
+        aligner=kernel,
+        k=args.kmer,
+        scoring=scoring,
+        error_rate=error_rate,
+        min_overlap=args.min_overlap,
+    )
+    result = pipeline.run(reads)
+
+    payload = {
+        "reads": len(reads),
+        "kmer": args.kmer,
+        "xdrop": args.xdrop,
+        "aligner": args.aligner,
+        "reliable_kmers": result.index.retained_kmers,
+        "pruned_fraction": result.index.pruned_fraction,
+        "candidates": result.candidates.num_candidates,
+        "aligned": result.num_alignments,
+        "accepted": len(result.accepted),
+        "alignment_cells": result.work.cells,
+        "alignment_modeled_seconds": result.alignment_modeled_seconds,
+        "stage_seconds": dict(result.timer.stages),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>26s}: {value}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-bench
+# --------------------------------------------------------------------------- #
+def main_bench(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-bench``: regenerate one paper table/figure."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate one of the paper's tables/figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig12",
+            "fig13",
+            "fig2",
+            "accuracy",
+            "ablation_threads",
+            "ablation_memory",
+            "ablation_reversal",
+            "ablation_reduction",
+            "ablation_loadbalance",
+        ],
+        help="experiment id (see DESIGN.md experiment index)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="work multiplier for the measured sample (1.0 = default laptop scale)",
+    )
+    args = parser.parse_args(argv)
+
+    # The benchmark harness lives next to the repository (benchmarks/), not
+    # inside the installed package, so resolve it relative to the current
+    # working directory (run `repro-bench` from the repository root).
+    import os
+
+    root = os.getcwd()
+    if not os.path.exists(os.path.join(root, "benchmarks", "harness.py")):
+        parser.error(
+            "repro-bench must be run from the repository root "
+            "(the directory containing benchmarks/harness.py)"
+        )
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    from benchmarks import harness  # deferred: benchmarks ship next to the repo
+
+    table = harness.run_experiment(args.experiment, scale=args.scale)
+    print(table.formatted())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(main_align())

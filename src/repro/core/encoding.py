@@ -1,0 +1,153 @@
+"""DNA sequence encoding utilities.
+
+Alignment kernels operate on small-integer codes rather than Python strings:
+every sequence is converted once, up front, into a contiguous ``numpy.uint8``
+array so the hot anti-diagonal loops are pure vectorised integer comparisons
+(the idiom recommended by the HPC-Python guides: encode once, compare many).
+
+The canonical alphabet is::
+
+    A -> 0, C -> 1, G -> 2, T -> 3, N -> 4 (wildcard, never matches)
+
+Lower-case input is accepted.  ``N`` (and any IUPAC ambiguity code) maps to
+the wildcard code which, by convention of the scoring module, never produces
+a match — mirroring how SeqAn and ksw2 treat ambiguous bases with the simple
+DNA scoring schemes used by LOGAN/BELLA.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..errors import SequenceError
+
+__all__ = [
+    "ALPHABET",
+    "WILDCARD_CODE",
+    "COMPLEMENT_CODE",
+    "encode",
+    "encode_batch",
+    "decode",
+    "reverse",
+    "reverse_complement",
+    "random_sequence",
+    "is_encoded",
+]
+
+#: Canonical DNA alphabet in code order.
+ALPHABET: str = "ACGTN"
+
+#: Integer code assigned to ``N`` and every non-ACGT character.
+WILDCARD_CODE: int = 4
+
+#: Complement of each code (A<->T, C<->G, N->N).
+COMPLEMENT_CODE: np.ndarray = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
+
+# Build the 256-entry translation table once at import time.
+_ENCODE_TABLE = np.full(256, WILDCARD_CODE, dtype=np.uint8)
+for _code, _base in enumerate("ACGT"):
+    _ENCODE_TABLE[ord(_base)] = _code
+    _ENCODE_TABLE[ord(_base.lower())] = _code
+
+_DECODE_TABLE = np.frombuffer(ALPHABET.encode("ascii"), dtype=np.uint8)
+
+SequenceLike = Union[str, bytes, np.ndarray]
+
+
+def is_encoded(seq: SequenceLike) -> bool:
+    """Return ``True`` if *seq* is already a uint8 code array."""
+    return isinstance(seq, np.ndarray) and seq.dtype == np.uint8
+
+
+def encode(seq: SequenceLike) -> np.ndarray:
+    """Encode a DNA sequence into a ``uint8`` code array.
+
+    Parameters
+    ----------
+    seq:
+        A string, ``bytes`` object or an already-encoded ``uint8`` array.
+        Already-encoded arrays are validated and returned as-is (no copy) so
+        that calling :func:`encode` twice is free.
+
+    Returns
+    -------
+    numpy.ndarray
+        One-dimensional contiguous array of dtype ``uint8`` with values in
+        ``[0, 4]``.
+
+    Raises
+    ------
+    SequenceError
+        If the sequence is empty or an encoded array contains codes outside
+        the alphabet.
+    """
+    if isinstance(seq, np.ndarray):
+        if seq.dtype != np.uint8:
+            raise SequenceError(
+                f"encoded sequences must have dtype uint8, got {seq.dtype}"
+            )
+        if seq.ndim != 1:
+            raise SequenceError(
+                f"encoded sequences must be one-dimensional, got shape {seq.shape}"
+            )
+        if seq.size == 0:
+            raise SequenceError("cannot encode an empty sequence")
+        if seq.size and int(seq.max(initial=0)) > WILDCARD_CODE:
+            raise SequenceError(
+                "encoded sequence contains codes outside the DNA alphabet"
+            )
+        return np.ascontiguousarray(seq)
+
+    if isinstance(seq, str):
+        raw = seq.encode("ascii", errors="replace")
+    elif isinstance(seq, (bytes, bytearray)):
+        raw = bytes(seq)
+    else:
+        raise SequenceError(
+            f"cannot encode object of type {type(seq).__name__} as a DNA sequence"
+        )
+    if len(raw) == 0:
+        raise SequenceError("cannot encode an empty sequence")
+    ascii_codes = np.frombuffer(raw, dtype=np.uint8)
+    return _ENCODE_TABLE[ascii_codes]
+
+
+def encode_batch(seqs: Iterable[SequenceLike]) -> list[np.ndarray]:
+    """Encode an iterable of sequences, preserving order."""
+    return [encode(s) for s in seqs]
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a ``uint8`` code array back into an upper-case DNA string."""
+    codes = encode(codes)  # validates dtype/range
+    return _DECODE_TABLE[codes].tobytes().decode("ascii")
+
+
+def reverse(seq: SequenceLike) -> np.ndarray:
+    """Return the reversed encoded sequence (a copy, contiguous).
+
+    LOGAN reverses the query of the left-extension so the GPU reads both
+    sequences in increasing memory order (coalesced access, Fig. 6 of the
+    paper).  We keep the same convention: reversal returns a fresh contiguous
+    buffer because a negative-stride view would defeat the point of the
+    optimisation being modeled.
+    """
+    return np.ascontiguousarray(encode(seq)[::-1])
+
+
+def reverse_complement(seq: SequenceLike) -> np.ndarray:
+    """Return the reverse complement of a sequence as an encoded array."""
+    return np.ascontiguousarray(COMPLEMENT_CODE[encode(seq)][::-1])
+
+
+def random_sequence(
+    length: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Generate a uniformly random encoded DNA sequence of *length* bases."""
+    if length <= 0:
+        raise SequenceError(f"sequence length must be positive, got {length}")
+    if rng is None:
+        rng = np.random.default_rng()
+    return rng.integers(0, 4, size=length, dtype=np.uint8)

@@ -1,0 +1,231 @@
+"""Scalar reference implementation of the X-drop extension algorithm.
+
+This module is the *semantic oracle* of the library.  It follows the
+anti-diagonal formulation of Zhang et al. (2000) exactly as described in
+Section III of the LOGAN paper (Algorithm 1): only three anti-diagonals are
+kept, cells whose score falls more than ``X`` below the best score seen on
+*previous* anti-diagonals are replaced with ``-inf``, the band is trimmed
+from both ends after every iteration, and the extension terminates when the
+band becomes empty or the far corner of the DP matrix is reached.
+
+It is intentionally written as a readable double loop (the "make it work"
+stage of the optimisation workflow); the vectorised kernel in
+:mod:`repro.core.xdrop_vectorized` must produce identical scores and is the
+one used by the batch/GPU layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .encoding import SequenceLike, encode
+from .result import NEG_INF, ExtensionResult
+from .scoring import ScoringScheme
+
+__all__ = ["xdrop_extend_reference", "exact_extension_score"]
+
+
+def _validate(xdrop: int) -> None:
+    if xdrop < 0:
+        raise ConfigurationError(f"X-drop threshold must be non-negative, got {xdrop}")
+
+
+def xdrop_extend_reference(
+    query: SequenceLike,
+    target: SequenceLike,
+    scoring: ScoringScheme = ScoringScheme(),
+    xdrop: int = 100,
+    trace: bool = False,
+) -> ExtensionResult:
+    """Extend an alignment from position (0, 0) of *query* and *target*.
+
+    The extension finds the highest-scoring alignment of a prefix of the
+    query against a prefix of the target (semi-global extension), pruning
+    the dynamic-programming search with the X-drop criterion.
+
+    Parameters
+    ----------
+    query, target:
+        Sequences (strings or encoded ``uint8`` arrays).  For a left
+        extension, pass the *reversed* prefixes — the caller
+        (:mod:`repro.core.seed_extend`) takes care of that, matching the
+        host-side reversal LOGAN performs for coalesced GPU access.
+    scoring:
+        Linear-gap scoring scheme.
+    xdrop:
+        The X parameter: cells scoring more than ``X`` below the running
+        best are pruned.  ``X = 0`` prunes any cell below the best score.
+    trace:
+        When ``True`` the per-anti-diagonal band widths are recorded in the
+        result (used by the GPU execution model).
+
+    Returns
+    -------
+    ExtensionResult
+        Best score, end coordinates of the best cell, and work accounting.
+    """
+    _validate(xdrop)
+    q = encode(query)
+    t = encode(target)
+    m, n = len(q), len(t)
+    match, mismatch, gap = scoring.as_tuple()
+
+    # Three anti-diagonal buffers indexed by row i (query prefix length).
+    size = m + 2
+    prev2 = [NEG_INF] * size  # anti-diagonal d-2
+    prev = [NEG_INF] * size  # anti-diagonal d-1
+    cur = [NEG_INF] * size  # anti-diagonal d (being computed)
+
+    # d = 0 holds only the origin cell (0, 0) with score 0.
+    prev[0] = 0
+    prev2_lo, prev2_hi = 0, -1  # empty
+    prev_lo, prev_hi = 0, 0
+
+    best = 0
+    best_i, best_j = 0, 0
+    cells = 1
+    anti_diagonals = 1
+    widths: list[int] = [1] if trace else []
+    terminated_early = False
+
+    last_diag = m + n
+    for d in range(1, last_diag + 1):
+        # Rows of anti-diagonal d reachable from the finite bands of the two
+        # previous anti-diagonals, clipped to the matrix.
+        lo = max(0, d - n)
+        hi = min(d, m)
+        reach_lo = prev_lo
+        reach_hi = prev_hi + 1
+        if prev2_hi >= prev2_lo:
+            reach_lo = min(reach_lo, prev2_lo + 1)
+            reach_hi = max(reach_hi, prev2_hi + 1)
+        lo = max(lo, reach_lo)
+        hi = min(hi, reach_hi)
+        if lo > hi:
+            terminated_early = True
+            break
+
+        cutoff = best - xdrop
+        row_best = NEG_INF
+        row_best_i = -1
+        for i in range(lo, hi + 1):
+            j = d - i
+            score = NEG_INF
+            if i >= 1 and j >= 1:
+                diag = prev2[i - 1]
+                if diag > NEG_INF:
+                    if q[i - 1] == t[j - 1] and q[i - 1] != 4:
+                        score = diag + match
+                    else:
+                        score = diag + mismatch
+            if i >= 1:
+                up = prev[i - 1]
+                if up > NEG_INF and up + gap > score:
+                    score = up + gap
+            if j >= 1:
+                left = prev[i]
+                if left > NEG_INF and left + gap > score:
+                    score = left + gap
+            if score < cutoff:
+                score = NEG_INF
+            cur[i] = score
+            if score > row_best:
+                row_best = score
+                row_best_i = i
+
+        cells += hi - lo + 1
+        anti_diagonals += 1
+        if trace:
+            widths.append(hi - lo + 1)
+
+        if row_best <= NEG_INF:
+            terminated_early = True
+            break
+
+        # Trim -inf cells from both ends of the band (Algorithm 1, l. 10-15).
+        new_lo, new_hi = lo, hi
+        while new_lo <= new_hi and cur[new_lo] == NEG_INF:
+            new_lo += 1
+        while new_hi >= new_lo and cur[new_hi] == NEG_INF:
+            new_hi -= 1
+
+        # The running maximum is updated only after the whole anti-diagonal
+        # has been computed (shared-variable update in the GPU kernel).
+        if row_best > best:
+            best = row_best
+            best_i = row_best_i
+            best_j = d - row_best_i
+
+        # Rotate buffers; clear stale cells so they are never read as parents.
+        prev2, prev, cur = prev, cur, prev2
+        for i in range(lo, hi + 1):
+            if i < new_lo or i > new_hi:
+                prev[i] = NEG_INF
+        prev2_lo, prev2_hi = prev_lo, prev_hi
+        prev_lo, prev_hi = new_lo, new_hi
+        for i in range(max(0, d + 1 - n), min(d + 1, m) + 1):
+            cur[i] = NEG_INF
+
+    return ExtensionResult(
+        best_score=int(best),
+        query_end=int(best_i),
+        target_end=int(best_j),
+        anti_diagonals=anti_diagonals,
+        cells_computed=int(cells),
+        terminated_early=terminated_early,
+        band_widths=np.asarray(widths, dtype=np.int64) if trace else None,
+    )
+
+
+def exact_extension_score(
+    query: SequenceLike,
+    target: SequenceLike,
+    scoring: ScoringScheme = ScoringScheme(),
+) -> ExtensionResult:
+    """Exact (un-pruned) best prefix-extension score via full dynamic programming.
+
+    Computes ``max_{i,j} S(i, j)`` over the complete ``(m+1) x (n+1)`` matrix
+    with the same recurrence as the X-drop kernels but no pruning.  This is
+    the oracle against which the X-drop heuristic is validated: for any
+    ``X >= scoring.worst_case_drop(min(m, n))`` the heuristic must return the
+    same score.
+
+    The horizontal (within-row) dependency of the linear-gap recurrence is a
+    prefix maximum, so each row is resolved with one vectorised
+    ``maximum.accumulate`` instead of an inner Python loop.
+    """
+    q = encode(query)
+    t = encode(target)
+    m, n = len(q), len(t)
+    match, mismatch, gap = scoring.as_tuple()
+
+    col = np.arange(0, n + 1, dtype=np.int64)
+    prev_row = col * gap
+    best = 0
+    best_i, best_j = 0, 0
+    for i in range(1, m + 1):
+        sub = np.where((t == q[i - 1]) & (t != 4), match, mismatch).astype(np.int64)
+        cand = np.empty(n + 1, dtype=np.int64)
+        cand[0] = i * gap
+        np.maximum(prev_row[:-1] + sub, prev_row[1:] + gap, out=cand[1:])
+        # H[j] = max_{k <= j} (cand[k] + (j - k) * gap)
+        #      = j * gap + cummax(cand[k] - k * gap)
+        shifted = cand - col * gap
+        np.maximum.accumulate(shifted, out=shifted)
+        row = shifted + col * gap
+        row_max = int(row.max())
+        if row_max > best:
+            best = row_max
+            best_i = i
+            best_j = int(np.argmax(row))
+        prev_row = row
+
+    return ExtensionResult(
+        best_score=int(best),
+        query_end=int(best_i),
+        target_end=int(best_j),
+        anti_diagonals=m + n + 1,
+        cells_computed=(m + 1) * (n + 1),
+        terminated_early=False,
+    )

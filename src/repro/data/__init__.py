@@ -1,0 +1,37 @@
+"""Data substrate: FASTA/FASTQ I/O, synthetic genomes, long reads, pair sets."""
+
+from .datasets import (
+    CELEGANS_LIKE,
+    ECOLI_LIKE,
+    BellaDataset,
+    DatasetPreset,
+    load_dataset,
+)
+from .fasta import SequenceRecord, read_fasta, read_fastq, write_fasta, write_fastq
+from .genome import Genome, RepeatSpec, simulate_genome
+from .pairs import PAPER_100K_SPEC, PairSetSpec, generate_pair_set
+from .reads import ErrorModel, SimulatedRead, apply_errors, simulate_reads, true_overlap
+
+__all__ = [
+    "SequenceRecord",
+    "read_fasta",
+    "read_fastq",
+    "write_fasta",
+    "write_fastq",
+    "Genome",
+    "RepeatSpec",
+    "simulate_genome",
+    "ErrorModel",
+    "SimulatedRead",
+    "apply_errors",
+    "simulate_reads",
+    "true_overlap",
+    "PairSetSpec",
+    "PAPER_100K_SPEC",
+    "generate_pair_set",
+    "DatasetPreset",
+    "BellaDataset",
+    "ECOLI_LIKE",
+    "CELEGANS_LIKE",
+    "load_dataset",
+]

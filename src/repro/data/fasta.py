@@ -1,0 +1,129 @@
+"""Minimal FASTA/FASTQ reading and writing.
+
+BELLA consumes FASTA/FASTQ long-read files; the reproduction needs the same
+round-trip so the example pipelines can operate on files rather than
+in-memory arrays.  Only the features the pipeline needs are implemented:
+multi-line FASTA, four-line FASTQ, gzip-transparent reading, and writing.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from ..errors import DatasetError
+
+__all__ = ["SequenceRecord", "read_fasta", "read_fastq", "write_fasta", "write_fastq"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class SequenceRecord:
+    """One named sequence (and optional quality string) from a file."""
+
+    name: str
+    sequence: str
+    quality: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _open_text(path: PathLike) -> io.TextIOBase:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"))
+    return open(path, "rt", encoding="ascii")
+
+
+def read_fasta(path: PathLike) -> Iterator[SequenceRecord]:
+    """Iterate over the records of a (possibly gzipped) FASTA file.
+
+    Raises
+    ------
+    DatasetError
+        If the file does not start with a ``>`` header or contains an empty
+        record.
+    """
+    name: str | None = None
+    chunks: list[str] = []
+    with _open_text(path) as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    if not chunks:
+                        raise DatasetError(f"empty FASTA record {name!r} in {path}")
+                    yield SequenceRecord(name=name, sequence="".join(chunks))
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise DatasetError(
+                        f"{path}: line {line_number} precedes the first FASTA header"
+                    )
+                chunks.append(line)
+    if name is not None:
+        if not chunks:
+            raise DatasetError(f"empty FASTA record {name!r} in {path}")
+        yield SequenceRecord(name=name, sequence="".join(chunks))
+
+
+def read_fastq(path: PathLike) -> Iterator[SequenceRecord]:
+    """Iterate over the records of a (possibly gzipped) four-line FASTQ file."""
+    with _open_text(path) as handle:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.strip()
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise DatasetError(f"{path}: malformed FASTQ header {header!r}")
+            sequence = handle.readline().strip()
+            plus = handle.readline().strip()
+            quality = handle.readline().strip()
+            if not sequence or not plus.startswith("+") or len(quality) != len(sequence):
+                raise DatasetError(f"{path}: truncated FASTQ record {header!r}")
+            yield SequenceRecord(
+                name=header[1:].split()[0], sequence=sequence, quality=quality
+            )
+
+
+def write_fasta(
+    path: PathLike, records: Iterable[SequenceRecord], line_width: int = 80
+) -> int:
+    """Write records to a FASTA file; returns the number of records written."""
+    if line_width <= 0:
+        raise DatasetError(f"line_width must be positive, got {line_width}")
+    count = 0
+    with open(path, "wt", encoding="ascii") as handle:
+        for record in records:
+            handle.write(f">{record.name}\n")
+            seq = record.sequence
+            for start in range(0, len(seq), line_width):
+                handle.write(seq[start : start + line_width] + "\n")
+            count += 1
+    return count
+
+
+def write_fastq(path: PathLike, records: Iterable[SequenceRecord]) -> int:
+    """Write records to a FASTQ file (quality defaults to maximum)."""
+    count = 0
+    with open(path, "wt", encoding="ascii") as handle:
+        for record in records:
+            quality = record.quality or "~" * len(record.sequence)
+            if len(quality) != len(record.sequence):
+                raise DatasetError(
+                    f"record {record.name!r}: quality length does not match sequence"
+                )
+            handle.write(f"@{record.name}\n{record.sequence}\n+\n{quality}\n")
+            count += 1
+    return count

@@ -1,0 +1,228 @@
+"""GPU device specifications for the execution/performance model.
+
+Real CUDA hardware is not available in this reproduction, so the LOGAN
+kernel runs against an explicit *model* of the device.  A
+:class:`DeviceSpec` captures the architectural parameters the paper reasons
+about in Sections IV and VII: streaming multiprocessors (SMs), the four warp
+schedulers per SM, the INT32 core count that bounds integer issue rate, the
+shared-memory capacities that drive the HBM-vs-shared-memory design decision,
+HBM bandwidth/capacity, and the host link.
+
+The :data:`TESLA_V100` preset reproduces the numbers used in the paper's
+Roofline analysis: 80 SMs x 4 schedulers x 1.53 GHz = 489.6 warp GIPS peak
+issue rate, with the INT32 ceiling at 220.8 warp GIPS (the paper's quoted
+value).  An :data:`TESLA_A100` preset is included for "what-if" studies and
+for exercising the model with a second configuration in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+
+__all__ = ["DeviceSpec", "TESLA_V100", "TESLA_A100"]
+
+_KIB = 1024
+_GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of a GPU used by the execution model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the device.
+    num_sms:
+        Streaming multiprocessors.
+    warp_schedulers_per_sm:
+        Processing blocks per SM, each dispatching one instruction per cycle.
+    warp_size:
+        Threads per warp.
+    int32_cores_per_scheduler:
+        INT32 ALUs per scheduler; a 32-lane integer warp instruction
+        therefore occupies the scheduler for ``warp_size / int32_cores``
+        cycles.
+    clock_ghz:
+        Boost clock used for peak-rate calculations.
+    max_threads_per_block, max_threads_per_sm, max_blocks_per_sm:
+        Occupancy limits.
+    shared_mem_per_sm_kib, shared_mem_per_block_max_kib:
+        Shared-memory capacities (96 KiB per SM on the V100, of which a
+        single block may opt into at most 64 KiB) — the constraint that
+        pushes LOGAN's anti-diagonals into HBM (Section IV-B).
+    registers_per_sm:
+        32-bit registers per SM (occupancy limit).
+    hbm_bandwidth_gbps:
+        Device-memory bandwidth in GB/s.
+    hbm_capacity_gib:
+        Device-memory capacity in GiB; the limiting resource for the batch
+        size and the quantity the multi-GPU load balancer balances.
+    l2_cache_mib:
+        Last-level cache size in MiB, used to decide whether anti-diagonal
+        buffers generate HBM traffic or stay cache-resident.
+    pcie_bandwidth_gbps:
+        Host link bandwidth per device (NVLink on the POWER9 system, PCIe on
+        the Skylake system; the default is a conservative common value).
+    int32_ceiling_gips_override:
+        If set, the INT32 ceiling reported by :meth:`int32_peak_warp_gips`
+        uses this value instead of the derived one.  The V100 preset pins it
+        to the paper's 220.8 warp GIPS figure.
+    """
+
+    name: str
+    num_sms: int
+    warp_schedulers_per_sm: int
+    warp_size: int
+    int32_cores_per_scheduler: int
+    clock_ghz: float
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    shared_mem_per_sm_kib: int
+    shared_mem_per_block_max_kib: int
+    registers_per_sm: int
+    hbm_bandwidth_gbps: float
+    hbm_capacity_gib: float
+    l2_cache_mib: float
+    pcie_bandwidth_gbps: float = 16.0
+    int32_ceiling_gips_override: float | None = None
+
+    def __post_init__(self) -> None:
+        positive_fields = [
+            ("num_sms", self.num_sms),
+            ("warp_schedulers_per_sm", self.warp_schedulers_per_sm),
+            ("warp_size", self.warp_size),
+            ("int32_cores_per_scheduler", self.int32_cores_per_scheduler),
+            ("clock_ghz", self.clock_ghz),
+            ("max_threads_per_block", self.max_threads_per_block),
+            ("max_threads_per_sm", self.max_threads_per_sm),
+            ("max_blocks_per_sm", self.max_blocks_per_sm),
+            ("shared_mem_per_sm_kib", self.shared_mem_per_sm_kib),
+            ("shared_mem_per_block_max_kib", self.shared_mem_per_block_max_kib),
+            ("registers_per_sm", self.registers_per_sm),
+            ("hbm_bandwidth_gbps", self.hbm_bandwidth_gbps),
+            ("hbm_capacity_gib", self.hbm_capacity_gib),
+            ("l2_cache_mib", self.l2_cache_mib),
+            ("pcie_bandwidth_gbps", self.pcie_bandwidth_gbps),
+        ]
+        for field_name, value in positive_fields:
+            if value <= 0:
+                raise ConfigurationError(f"{field_name} must be positive, got {value}")
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise ConfigurationError(
+                "max_threads_per_block cannot exceed max_threads_per_sm"
+            )
+        if self.shared_mem_per_block_max_kib > self.shared_mem_per_sm_kib:
+            raise ConfigurationError(
+                "shared_mem_per_block_max_kib cannot exceed shared_mem_per_sm_kib"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived peak rates (Section VII of the paper).
+    # ------------------------------------------------------------------ #
+    @property
+    def peak_warp_gips(self) -> float:
+        """Peak warp-instruction issue rate in GIPS (all schedulers busy)."""
+        return self.num_sms * self.warp_schedulers_per_sm * self.clock_ghz
+
+    @property
+    def int32_peak_warp_gips(self) -> float:
+        """INT32 warp-instruction ceiling in GIPS.
+
+        Only ``int32_cores_per_scheduler`` of the ``warp_size`` lanes can
+        execute integer operations each cycle, so an integer-only kernel is
+        bounded by this fraction of the peak issue rate.  The V100 preset
+        overrides the derived value with the paper's 220.8 figure.
+        """
+        if self.int32_ceiling_gips_override is not None:
+            return self.int32_ceiling_gips_override
+        fraction = self.int32_cores_per_scheduler / self.warp_size
+        return self.peak_warp_gips * fraction
+
+    @property
+    def int32_warp_issue_cycles(self) -> float:
+        """Cycles a 32-lane integer warp instruction occupies one scheduler."""
+        return self.warp_size / self.int32_cores_per_scheduler
+
+    @property
+    def total_int32_cores(self) -> int:
+        """Total INT32 ALUs on the device (``MAXR`` in Eq. 1 of the paper)."""
+        return (
+            self.num_sms
+            * self.warp_schedulers_per_sm
+            * self.int32_cores_per_scheduler
+        )
+
+    @property
+    def hbm_capacity_bytes(self) -> int:
+        """HBM capacity in bytes."""
+        return int(self.hbm_capacity_gib * _GIB)
+
+    @property
+    def shared_mem_per_sm_bytes(self) -> int:
+        """Shared memory per SM in bytes."""
+        return self.shared_mem_per_sm_kib * _KIB
+
+    @property
+    def shared_mem_per_block_max_bytes(self) -> int:
+        """Maximum shared memory a single block may reserve, in bytes."""
+        return self.shared_mem_per_block_max_kib * _KIB
+
+    @property
+    def l2_cache_bytes(self) -> int:
+        """Last-level cache capacity in bytes."""
+        return int(self.l2_cache_mib * _KIB * _KIB)
+
+    @property
+    def ridge_point(self) -> float:
+        """Operational intensity (warp instructions / byte) at the roofline ridge."""
+        return self.int32_peak_warp_gips / self.hbm_bandwidth_gbps
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Copy of the spec with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA Tesla V100 (SXM2, 16 GB HBM2) — the device used throughout the paper.
+TESLA_V100 = DeviceSpec(
+    name="NVIDIA Tesla V100 (16 GB)",
+    num_sms=80,
+    warp_schedulers_per_sm=4,
+    warp_size=32,
+    int32_cores_per_scheduler=16,
+    clock_ghz=1.53,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm_kib=96,
+    shared_mem_per_block_max_kib=64,
+    registers_per_sm=65536,
+    hbm_bandwidth_gbps=900.0,
+    hbm_capacity_gib=16.0,
+    l2_cache_mib=6.0,
+    pcie_bandwidth_gbps=16.0,
+    int32_ceiling_gips_override=220.8,
+)
+
+#: NVIDIA A100 (40 GB) — included for what-if studies; not used by the paper.
+TESLA_A100 = DeviceSpec(
+    name="NVIDIA A100 (40 GB)",
+    num_sms=108,
+    warp_schedulers_per_sm=4,
+    warp_size=32,
+    int32_cores_per_scheduler=16,
+    clock_ghz=1.41,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm_kib=164,
+    shared_mem_per_block_max_kib=163,
+    registers_per_sm=65536,
+    hbm_bandwidth_gbps=1555.0,
+    hbm_capacity_gib=40.0,
+    l2_cache_mib=40.0,
+    pcie_bandwidth_gbps=25.0,
+)

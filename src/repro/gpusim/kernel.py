@@ -1,0 +1,238 @@
+"""Kernel execution model: from a work trace to modeled V100 wall-clock.
+
+The model charges three resources and takes the binding one, mirroring how
+the paper reasons about its kernel (Sections IV and VII):
+
+* **instruction throughput** — total warp instructions divided by the INT32
+  issue ceiling, de-rated by a latency-hiding utilisation factor that grows
+  with the number of active warps resident per SM (few active warps cannot
+  cover memory and pipeline latency; this is why scheduling 1024 threads for
+  a 40-cell anti-diagonal hurts, and why LOGAN sizes the thread count to X);
+* **memory bandwidth** — modeled HBM traffic divided by peak bandwidth (the
+  kernel stays compute-bound for realistic configurations, as the paper's
+  Roofline shows, but the ablations can push it into the memory-bound
+  region);
+* **critical path** — a block's anti-diagonals are inherently serial, so a
+  kernel with too few blocks to fill the device is bound by the longest
+  block's serial latency (this is what makes the single-pair rows of
+  Table I so slow compared to the batched run).
+
+The returned :class:`KernelTiming` also carries the instruction and byte
+totals so the Roofline instrumentation (:mod:`repro.roofline`) can place the
+kernel on the plot without re-deriving anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .device import DeviceSpec
+from .memory import MemoryEstimate, MemoryModel
+from .occupancy import OccupancyResult, occupancy
+from .trace import KernelWorkload
+from .warp import KernelCostParameters, block_instruction_count
+
+__all__ = ["KernelTiming", "KernelExecutionModel"]
+
+_VALUE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one modeled kernel launch.
+
+    All times are seconds.  ``device_seconds`` is the kernel's execution
+    time on the device; ``total_seconds`` additionally includes host-link
+    transfers and the launch overhead (transfers are assumed overlapped with
+    compute only up to the non-binding component, matching LOGAN's use of
+    asynchronous copies).
+    """
+
+    compute_seconds: float
+    memory_seconds: float
+    critical_path_seconds: float
+    launch_overhead_seconds: float
+    transfer_seconds: float
+    device_seconds: float
+    total_seconds: float
+    warp_instructions_cells: float
+    warp_instructions_overhead: float
+    hbm_bytes: int
+    cells: int
+    blocks: int
+    threads_per_block: int
+    utilization: float
+    occupancy: OccupancyResult
+    memory_estimate: MemoryEstimate
+
+    @property
+    def warp_instructions(self) -> float:
+        """Total warp instructions issued by the kernel."""
+        return self.warp_instructions_cells + self.warp_instructions_overhead
+
+    @property
+    def warp_gips(self) -> float:
+        """Achieved warp GIPS over the device execution time."""
+        if self.device_seconds <= 0:
+            return float("inf")
+        return self.warp_instructions / self.device_seconds / 1e9
+
+    @property
+    def operational_intensity(self) -> float:
+        """Warp instructions per byte of HBM traffic (Roofline x-axis)."""
+        if self.hbm_bytes <= 0:
+            return float("inf")
+        return self.warp_instructions / self.hbm_bytes
+
+    @property
+    def gcups(self) -> float:
+        """Giga DP-cell updates per second over the total modeled time."""
+        if self.total_seconds <= 0:
+            return float("inf")
+        return self.cells / self.total_seconds / 1e9
+
+    @property
+    def bound(self) -> str:
+        """Which resource binds the kernel: ``compute``, ``memory`` or ``latency``."""
+        binding = max(
+            ("compute", self.compute_seconds),
+            ("memory", self.memory_seconds),
+            ("latency", self.critical_path_seconds),
+            key=lambda kv: kv[1],
+        )
+        return binding[0]
+
+
+class KernelExecutionModel:
+    """Maps a :class:`KernelWorkload` to modeled device time.
+
+    Parameters
+    ----------
+    device:
+        Device specification (default presets live in
+        :mod:`repro.gpusim.device`).
+    params:
+        Instruction/latency cost constants.
+    memory_model:
+        HBM traffic model; a default one is built from the device.
+    latency_hiding_warps:
+        Number of active warps per SM at which latency hiding reaches 50 %
+        efficiency.  Utilisation is ``aw / (aw + latency_hiding_warps)``.
+    launch_overhead_seconds:
+        Fixed host-side cost per kernel launch (driver submission, final
+        synchronisation).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        params: KernelCostParameters | None = None,
+        memory_model: MemoryModel | None = None,
+        latency_hiding_warps: float = 48.0,
+        launch_overhead_seconds: float = 8e-5,
+    ) -> None:
+        if latency_hiding_warps <= 0:
+            raise ConfigurationError("latency_hiding_warps must be positive")
+        if launch_overhead_seconds < 0:
+            raise ConfigurationError("launch_overhead_seconds must be non-negative")
+        self.device = device
+        self.params = params or KernelCostParameters()
+        self.memory_model = memory_model or MemoryModel(device)
+        self.latency_hiding_warps = float(latency_hiding_warps)
+        self.launch_overhead_seconds = float(launch_overhead_seconds)
+
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        workload: KernelWorkload,
+        threads_per_block: int,
+        shared_mem_per_block_bytes: int | None = None,
+    ) -> KernelTiming:
+        """Model one kernel launch of *workload* with the given configuration."""
+        if workload.sampled_blocks == 0:
+            raise ConfigurationError("cannot execute an empty workload")
+        device = self.device
+        params = self.params
+        if shared_mem_per_block_bytes is None:
+            # LOGAN only keeps the per-warp reduction scratch in shared memory.
+            shared_mem_per_block_bytes = threads_per_block * _VALUE_BYTES
+
+        mean_band = workload.mean_band_width
+        occ = occupancy(
+            device,
+            threads_per_block=threads_per_block,
+            shared_mem_per_block_bytes=shared_mem_per_block_bytes,
+            active_threads_per_block=min(mean_band, threads_per_block),
+        )
+
+        # ---------------- instruction accounting ---------------- #
+        cell_instr = 0.0
+        overhead_instr = 0.0
+        max_block_cycles = 0.0
+        for block in workload.blocks:
+            c, o = block_instruction_count(
+                block.band_widths, threads_per_block, device.warp_size, params
+            )
+            cell_instr += c
+            overhead_instr += o
+            # Serial critical path of this block: per-anti-diagonal issue
+            # cycles (its own instructions at one scheduler's int32 rate)
+            # plus the un-hidable dependent latency.
+            issue_cycles = (c + o) * device.int32_warp_issue_cycles / (
+                device.warp_schedulers_per_sm
+            )
+            latency_cycles = block.anti_diagonals * params.antidiag_latency_cycles
+            max_block_cycles = max(max_block_cycles, issue_cycles + latency_cycles)
+        cell_instr *= workload.replication
+        overhead_instr *= workload.replication
+        total_instr = cell_instr + overhead_instr
+
+        # ---------------- utilisation / throughput ---------------- #
+        active_warps = occ.active_warps_per_sm
+        utilization = active_warps / (active_warps + self.latency_hiding_warps)
+        # A kernel with fewer blocks than the device can host cannot use
+        # every SM regardless of per-SM occupancy.
+        total_resident_capacity = occ.blocks_per_sm * device.num_sms
+        if workload.total_blocks < total_resident_capacity:
+            utilization *= workload.total_blocks / total_resident_capacity
+        utilization = max(utilization, 1e-6)
+
+        effective_gips = device.int32_peak_warp_gips * 1e9 * utilization
+        compute_seconds = total_instr / effective_gips
+
+        # ---------------- memory ---------------- #
+        resident_blocks = occ.blocks_per_sm * device.num_sms
+        mem = self.memory_model.estimate(workload, resident_blocks)
+        memory_seconds = mem.hbm_bytes / (device.hbm_bandwidth_gbps * 1e9)
+        transfer_seconds = self.memory_model.transfer_seconds(mem.transfer_bytes)
+
+        # ---------------- critical path ---------------- #
+        critical_path_seconds = max_block_cycles / (device.clock_ghz * 1e9)
+
+        device_seconds = max(compute_seconds, memory_seconds, critical_path_seconds)
+        # Asynchronous copies overlap transfers with compute; only the excess
+        # beyond the device time remains visible.
+        exposed_transfer = max(0.0, transfer_seconds - device_seconds)
+        total_seconds = (
+            device_seconds + exposed_transfer + self.launch_overhead_seconds
+        )
+
+        return KernelTiming(
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            critical_path_seconds=critical_path_seconds,
+            launch_overhead_seconds=self.launch_overhead_seconds,
+            transfer_seconds=transfer_seconds,
+            device_seconds=device_seconds,
+            total_seconds=total_seconds,
+            warp_instructions_cells=cell_instr,
+            warp_instructions_overhead=overhead_instr,
+            hbm_bytes=mem.hbm_bytes,
+            cells=workload.total_cells,
+            blocks=workload.total_blocks,
+            threads_per_block=threads_per_block,
+            utilization=utilization,
+            occupancy=occ,
+            memory_estimate=mem,
+        )

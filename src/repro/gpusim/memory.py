@@ -1,0 +1,160 @@
+"""Device-memory model: HBM traffic, capacity checks and host transfers.
+
+Section IV-B of the paper explains why LOGAN keeps its three anti-diagonal
+buffers in HBM rather than shared memory, and Section VII shows that the
+resulting kernel is nonetheless *compute* bound: the buffers of the blocks
+resident on the device largely fit in the L2 cache, so the HBM traffic per
+cell is far below the naive 16-18 bytes of the three parent reads and one
+write.  This module models that effect:
+
+* compulsory traffic — every block streams its two sequences from HBM once
+  and writes its final result back;
+* anti-diagonal buffer traffic — charged per cell only for the fraction of
+  resident working set that exceeds the L2 capacity;
+* HBM capacity — the footprint of sequences plus per-block buffers, which
+  the batch layer uses to cap the number of alignments shipped per launch
+  (and the load balancer uses to balance devices);
+* host-device transfers over the PCIe/NVLink link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .device import DeviceSpec
+from .trace import KernelWorkload
+
+__all__ = ["MemoryModel", "MemoryEstimate"]
+
+_RESULT_BYTES_PER_BLOCK = 16  # best score + end coordinates returned per block
+_VALUE_BYTES = 4  # anti-diagonal scores are int32 on the device
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """HBM traffic / footprint estimate for one kernel launch.
+
+    Attributes
+    ----------
+    hbm_bytes:
+        Modeled HBM traffic of the kernel (reads + writes).
+    footprint_bytes:
+        HBM capacity required to hold the batch (sequences + buffers +
+        results).
+    l2_resident_fraction:
+        Fraction of the per-cell buffer traffic served by the L2 cache.
+    transfer_bytes:
+        Bytes moved over the host link (sequences in, results out).
+    """
+
+    hbm_bytes: int
+    footprint_bytes: int
+    l2_resident_fraction: float
+    transfer_bytes: int
+
+
+class MemoryModel:
+    """Estimates memory behaviour of a LOGAN kernel launch on a device.
+
+    Parameters
+    ----------
+    device:
+        The device specification.
+    bytes_per_cell_uncached:
+        HBM bytes a DP cell would cost with no cache at all: three int32
+        parent loads, one int32 store and two sequence bytes.
+    sequence_read_amplification:
+        Multiplier on compulsory sequence traffic to account for re-reads
+        of the query/target across anti-diagonal segments.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        bytes_per_cell_uncached: float = 3 * _VALUE_BYTES + _VALUE_BYTES + 2,
+        sequence_read_amplification: float = 2.0,
+    ) -> None:
+        if bytes_per_cell_uncached <= 0:
+            raise ConfigurationError("bytes_per_cell_uncached must be positive")
+        if sequence_read_amplification < 1.0:
+            raise ConfigurationError("sequence_read_amplification must be >= 1")
+        self.device = device
+        self.bytes_per_cell_uncached = float(bytes_per_cell_uncached)
+        self.sequence_read_amplification = float(sequence_read_amplification)
+
+    # ------------------------------------------------------------------ #
+    # Footprint / capacity.
+    # ------------------------------------------------------------------ #
+    def footprint_bytes(self, workload: KernelWorkload) -> int:
+        """HBM bytes needed to host the whole workload at once."""
+        sequences = workload.total_sequence_bytes
+        buffers = workload.buffer_bytes(_VALUE_BYTES)
+        results = workload.total_blocks * _RESULT_BYTES_PER_BLOCK
+        return int(sequences + buffers + results)
+
+    def fits(self, workload: KernelWorkload) -> bool:
+        """Whether the workload fits in device memory in a single launch."""
+        return self.footprint_bytes(workload) <= self.device.hbm_capacity_bytes
+
+    def max_blocks_per_launch(self, workload: KernelWorkload) -> int:
+        """Largest number of blocks of this workload's average size per launch."""
+        blocks = max(1, workload.total_blocks)
+        per_block = self.footprint_bytes(workload) / blocks
+        if per_block <= 0:
+            return blocks
+        return max(1, int(self.device.hbm_capacity_bytes // per_block))
+
+    # ------------------------------------------------------------------ #
+    # Traffic.
+    # ------------------------------------------------------------------ #
+    def l2_resident_fraction(
+        self, workload: KernelWorkload, resident_blocks: int
+    ) -> float:
+        """Fraction of anti-diagonal buffer accesses served by the L2 cache.
+
+        The working set of a resident block is its three anti-diagonal
+        buffers sized to the *current* band (approximated by the workload's
+        mean band width).  If the combined working set of all resident
+        blocks fits in L2 the fraction is ~1; otherwise it degrades
+        proportionally.
+        """
+        if resident_blocks <= 0:
+            raise ConfigurationError("resident_blocks must be positive")
+        band = max(1.0, workload.mean_band_width)
+        working_set = resident_blocks * 3 * band * _VALUE_BYTES
+        if working_set <= 0:
+            return 1.0
+        return float(min(1.0, self.device.l2_cache_bytes / working_set))
+
+    def estimate(
+        self, workload: KernelWorkload, resident_blocks: int
+    ) -> MemoryEstimate:
+        """Full memory estimate for one launch with *resident_blocks* per device."""
+        l2_fraction = self.l2_resident_fraction(workload, resident_blocks)
+        cells = workload.total_cells
+        buffer_traffic = cells * self.bytes_per_cell_uncached * (1.0 - l2_fraction)
+        sequence_traffic = (
+            workload.total_sequence_bytes * self.sequence_read_amplification
+        )
+        result_traffic = workload.total_blocks * _RESULT_BYTES_PER_BLOCK
+        hbm_bytes = int(buffer_traffic + sequence_traffic + result_traffic)
+        transfer_bytes = int(
+            workload.total_sequence_bytes + workload.total_blocks * _RESULT_BYTES_PER_BLOCK
+        )
+        return MemoryEstimate(
+            hbm_bytes=hbm_bytes,
+            footprint_bytes=self.footprint_bytes(workload),
+            l2_resident_fraction=l2_fraction,
+            transfer_bytes=transfer_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Host link.
+    # ------------------------------------------------------------------ #
+    def transfer_seconds(self, transfer_bytes: int) -> float:
+        """Seconds to move *transfer_bytes* over the host link."""
+        if transfer_bytes < 0:
+            raise ConfigurationError("transfer_bytes must be non-negative")
+        bandwidth = self.device.pcie_bandwidth_gbps * 1e9
+        return transfer_bytes / bandwidth

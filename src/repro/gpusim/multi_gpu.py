@@ -1,0 +1,134 @@
+"""Multi-GPU system model.
+
+The multi-GPU layer of LOGAN (Section IV-C) is host-driven: the host splits
+the batch, allocates buffers on every device, launches the kernels, and
+collects results asynchronously.  The devices therefore run independently —
+the batch time is the *maximum* over the per-device times — but the host
+pays a per-device management cost (context switches, allocation, result
+collation) that grows with the device count, which is exactly the overhead
+the paper observes ("the communication with multiple GPUs introduces an
+overhead that increases with the number of GPUs") and lists as future work
+to eliminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .device import DeviceSpec, TESLA_V100
+from .stream import StreamedTiming
+
+__all__ = ["MultiGpuSystem", "MultiGpuTiming"]
+
+
+@dataclass(frozen=True)
+class MultiGpuTiming:
+    """Timing of one batch spread across the devices of a system.
+
+    Attributes
+    ----------
+    per_device_seconds:
+        Modeled execution time (device + exposed transfers) of each device.
+    host_overhead_seconds:
+        Serial host-side cost of managing the devices for this batch.
+    total_seconds:
+        ``max(per_device_seconds) + host_overhead_seconds``.
+    cells:
+        DP cells across all devices.
+    """
+
+    per_device_seconds: tuple[float, ...]
+    host_overhead_seconds: float
+    total_seconds: float
+    cells: int
+
+    @property
+    def devices(self) -> int:
+        """Number of devices that received work."""
+        return len(self.per_device_seconds)
+
+    @property
+    def gcups(self) -> float:
+        """Aggregate giga cell updates per second."""
+        if self.total_seconds <= 0:
+            return float("inf")
+        return self.cells / self.total_seconds / 1e9
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max-over-mean per-device time (1.0 = perfectly balanced)."""
+        if not self.per_device_seconds:
+            return 1.0
+        mean = sum(self.per_device_seconds) / len(self.per_device_seconds)
+        if mean <= 0:
+            return 1.0
+        return max(self.per_device_seconds) / mean
+
+
+@dataclass
+class MultiGpuSystem:
+    """A host with one or more (identical or heterogeneous) GPUs.
+
+    Attributes
+    ----------
+    devices:
+        Device specifications, one per physical GPU.
+    per_device_overhead_seconds:
+        Host-side cost charged for every device that receives work in a
+        batch: context switch, memory allocation, stream setup and result
+        collation.  This is the term that makes 6-GPU scaling sub-linear in
+        Tables II/IV/V.
+    """
+
+    devices: list[DeviceSpec] = field(default_factory=lambda: [TESLA_V100])
+    per_device_overhead_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ConfigurationError("a MultiGpuSystem needs at least one device")
+        if self.per_device_overhead_seconds < 0:
+            raise ConfigurationError("per_device_overhead_seconds must be non-negative")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        count: int,
+        device: DeviceSpec = TESLA_V100,
+        per_device_overhead_seconds: float = 0.05,
+    ) -> "MultiGpuSystem":
+        """System with *count* identical devices."""
+        if count <= 0:
+            raise ConfigurationError(f"device count must be positive, got {count}")
+        return cls(
+            devices=[device] * count,
+            per_device_overhead_seconds=per_device_overhead_seconds,
+        )
+
+    @property
+    def num_devices(self) -> int:
+        """Number of GPUs in the system."""
+        return len(self.devices)
+
+    def combine(self, per_device: Sequence[StreamedTiming | None]) -> MultiGpuTiming:
+        """Combine per-device stream timings into the batch timing.
+
+        ``None`` entries mean the corresponding device received no work
+        (legal when there are fewer alignments than devices).
+        """
+        if len(per_device) != self.num_devices:
+            raise ConfigurationError(
+                f"expected {self.num_devices} per-device timings, got {len(per_device)}"
+            )
+        active = [t for t in per_device if t is not None]
+        if not active:
+            raise ConfigurationError("no device received any work")
+        times = tuple(t.total_seconds for t in active)
+        host_overhead = self.per_device_overhead_seconds * len(active)
+        return MultiGpuTiming(
+            per_device_seconds=times,
+            host_overhead_seconds=host_overhead,
+            total_seconds=max(times) + host_overhead,
+            cells=sum(t.cells for t in active),
+        )

@@ -1,0 +1,145 @@
+"""Occupancy calculator: how many blocks/warps fit on one SM.
+
+The LOGAN paper's central memory-placement decision (Section IV-B) is driven
+by occupancy: if every block reserved 64 KiB of shared memory for its
+anti-diagonals, only one block would fit per SM and inter-sequence
+parallelism would collapse; storing anti-diagonals in HBM removes that
+constraint and lets the thread- and block-count limits dominate.  This module
+computes the resident-block count for a launch configuration so both the
+paper's choice and its ablation (``bench_ablation_memory.py``) can be
+evaluated quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ResourceModelError
+from .device import DeviceSpec
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident blocks/warps per SM for one launch configuration.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Blocks concurrently resident on one SM.
+    warps_per_sm:
+        Resident warps per SM (scheduled threads, not necessarily active).
+    active_warps_per_sm:
+        Resident warps weighted by the fraction of threads doing useful
+        work (callers pass the average active-thread count).
+    limiting_factor:
+        Which resource capped the count: ``"threads"``, ``"blocks"``,
+        ``"shared_memory"`` or ``"registers"``.
+    occupancy_fraction:
+        ``warps_per_sm`` divided by the device's maximum resident warps.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    active_warps_per_sm: float
+    limiting_factor: str
+    occupancy_fraction: float
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    shared_mem_per_block_bytes: int = 0,
+    registers_per_thread: int = 32,
+    active_threads_per_block: float | None = None,
+) -> OccupancyResult:
+    """Compute the occupancy of a launch configuration on *device*.
+
+    Parameters
+    ----------
+    device:
+        Device specification.
+    threads_per_block:
+        Threads scheduled per block (LOGAN schedules these proportionally
+        to X rather than always using 1024).
+    shared_mem_per_block_bytes:
+        Static + dynamic shared memory reserved per block.  LOGAN reserves
+        only the small reduction scratch (``threads * 4`` bytes); the
+        ablation configuration reserves the full anti-diagonal buffers.
+    registers_per_thread:
+        Register pressure per thread (the LOGAN kernel is light; 32 is a
+        conservative default).
+    active_threads_per_block:
+        Average number of threads doing useful work per block (the
+        anti-diagonal width, typically ``< threads_per_block`` for small X).
+        Defaults to all scheduled threads.
+
+    Raises
+    ------
+    ResourceModelError
+        If the configuration cannot run at all (more threads per block than
+        the hardware maximum, or more shared memory than one block may use).
+    """
+    if threads_per_block <= 0:
+        raise ConfigurationError(
+            f"threads_per_block must be positive, got {threads_per_block}"
+        )
+    if shared_mem_per_block_bytes < 0 or registers_per_thread < 0:
+        raise ConfigurationError("resource requests must be non-negative")
+    if threads_per_block > device.max_threads_per_block:
+        raise ResourceModelError(
+            f"{threads_per_block} threads per block exceeds the device limit "
+            f"of {device.max_threads_per_block}"
+        )
+    if shared_mem_per_block_bytes > device.shared_mem_per_block_max_bytes:
+        raise ResourceModelError(
+            f"{shared_mem_per_block_bytes} bytes of shared memory per block "
+            f"exceeds the device limit of "
+            f"{device.shared_mem_per_block_max_bytes} bytes"
+        )
+
+    limits: dict[str, float] = {}
+    limits["threads"] = device.max_threads_per_sm // threads_per_block
+    limits["blocks"] = device.max_blocks_per_sm
+    if shared_mem_per_block_bytes > 0:
+        limits["shared_memory"] = (
+            device.shared_mem_per_sm_bytes // shared_mem_per_block_bytes
+        )
+    if registers_per_thread > 0:
+        limits["registers"] = device.registers_per_sm // (
+            registers_per_thread * threads_per_block
+        )
+
+    limiting_factor = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = int(limits[limiting_factor])
+    if blocks_per_sm <= 0:
+        raise ResourceModelError(
+            f"launch configuration ({threads_per_block} threads, "
+            f"{shared_mem_per_block_bytes} B shared memory, "
+            f"{registers_per_thread} regs/thread) cannot fit a single block "
+            f"on an SM of {device.name}"
+        )
+
+    warp_size = device.warp_size
+    warps_per_block = -(-threads_per_block // warp_size)  # ceil division
+    warps_per_sm = blocks_per_sm * warps_per_block
+
+    if active_threads_per_block is None:
+        active_threads_per_block = float(threads_per_block)
+    active_threads_per_block = min(
+        float(active_threads_per_block), float(threads_per_block)
+    )
+    active_warps_per_block = max(1.0, active_threads_per_block / warp_size)
+    active_warps_per_sm = blocks_per_sm * min(
+        float(warps_per_block), active_warps_per_block
+    )
+
+    max_resident_warps = device.max_threads_per_sm // warp_size
+    return OccupancyResult(
+        blocks_per_sm=blocks_per_sm,
+        warps_per_sm=int(warps_per_sm),
+        active_warps_per_sm=float(active_warps_per_sm),
+        limiting_factor=limiting_factor,
+        occupancy_fraction=min(1.0, warps_per_sm / max_resident_warps),
+    )

@@ -1,0 +1,154 @@
+"""Warp-level instruction accounting for the LOGAN kernel.
+
+Algorithm 2 of the paper assigns one thread per anti-diagonal cell and splits
+anti-diagonals longer than the scheduled thread count into segments; after a
+segment sweep, the block computes the anti-diagonal maximum with an in-warp
+shuffle reduction followed by a small cross-warp reduction in shared memory.
+This module turns that description into instruction counts:
+
+* per-cell cost (loads of the three parents, substitution compare/select,
+  two adds, three max operations, the X-drop compare/select, the store);
+* per-anti-diagonal overhead (segment loop control, the parallel reduction,
+  the band-bound update and the block-wide synchronisations);
+* everything expressed in *warp instructions*, the unit of the paper's
+  instruction Roofline analysis (Section VII).
+
+The counts are vectorised over the anti-diagonal width trace so a
+multi-thousand-anti-diagonal block is accounted with a handful of NumPy
+operations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["KernelCostParameters", "block_instruction_count", "reduction_warp_instructions"]
+
+
+@dataclass(frozen=True)
+class KernelCostParameters:
+    """Tunable instruction/latency constants of the kernel cost model.
+
+    Attributes
+    ----------
+    ops_per_cell:
+        Thread-level integer instructions per DP cell.  The LOGAN inner loop
+        (Algorithm 2) costs roughly: 2 sequence loads + compare + select,
+        3 parent loads + 2 adds + 3 max, X-drop compare + select (predicated)
+        + store + index arithmetic ≈ 36 instructions.  The default (38) also
+        absorbs the occasional replays of non-coalesced accesses.
+    shuffle_steps_per_warp:
+        Butterfly-shuffle steps of the in-warp max reduction (log2(32) = 5).
+    instr_per_shuffle_step:
+        Instructions per shuffle step (one ``__shfl_down`` plus one max).
+    sync_warp_instructions:
+        Warp instructions charged per block-wide synchronisation.
+    bookkeeping_warp_instructions:
+        Per-anti-diagonal warp instructions for loop control, the band-bound
+        (-inf trimming) update and the best-score update done by thread 0.
+    antidiag_latency_cycles:
+        Cycles of un-hidable latency per anti-diagonal on the block critical
+        path (dependent HBM/L2 round-trip for the previous anti-diagonal
+        plus two ``__syncthreads``).  Only matters when too few blocks are
+        resident to hide it — e.g. the single-alignment rows of Table I.
+    """
+
+    ops_per_cell: float = 38.0
+    shuffle_steps_per_warp: int = 5
+    instr_per_shuffle_step: float = 2.0
+    sync_warp_instructions: float = 8.0
+    bookkeeping_warp_instructions: float = 14.0
+    antidiag_latency_cycles: float = 540.0
+
+    def __post_init__(self) -> None:
+        if self.ops_per_cell <= 0:
+            raise ConfigurationError("ops_per_cell must be positive")
+        if self.shuffle_steps_per_warp < 0 or self.instr_per_shuffle_step < 0:
+            raise ConfigurationError("reduction constants must be non-negative")
+        if self.sync_warp_instructions < 0 or self.bookkeeping_warp_instructions < 0:
+            raise ConfigurationError("overhead constants must be non-negative")
+        if self.antidiag_latency_cycles < 0:
+            raise ConfigurationError("antidiag_latency_cycles must be non-negative")
+
+
+def reduction_warp_instructions(
+    active_threads: int, warp_size: int, params: KernelCostParameters
+) -> float:
+    """Warp instructions for one anti-diagonal maximum reduction.
+
+    Each active warp performs ``shuffle_steps_per_warp`` shuffle+max steps;
+    the per-warp partial maxima are then combined by the first warp
+    (``log2`` of the warp count additional steps) and the block synchronises
+    twice (once before and once after the cross-warp phase).
+    """
+    if active_threads <= 0:
+        return 0.0
+    warps = math.ceil(active_threads / warp_size)
+    in_warp = warps * params.shuffle_steps_per_warp * params.instr_per_shuffle_step
+    cross_warp = (
+        math.ceil(math.log2(warps)) * params.instr_per_shuffle_step if warps > 1 else 0.0
+    )
+    syncs = 2 * params.sync_warp_instructions
+    return in_warp + cross_warp + syncs
+
+
+def block_instruction_count(
+    band_widths: np.ndarray,
+    threads_per_block: int,
+    warp_size: int,
+    params: KernelCostParameters,
+) -> tuple[float, float]:
+    """Warp-instruction totals for one block's anti-diagonal trace.
+
+    Returns
+    -------
+    (cell_instructions, overhead_instructions):
+        Warp instructions spent computing DP cells, and warp instructions
+        spent on per-anti-diagonal overhead (reductions, synchronisation,
+        bookkeeping).  The split is reported separately because the Roofline
+        instrumentation counts both while the "useful work" GCUPS metric
+        only divides by cells.
+    """
+    if threads_per_block <= 0:
+        raise ConfigurationError("threads_per_block must be positive")
+    if warp_size <= 0:
+        raise ConfigurationError("warp_size must be positive")
+    widths = np.asarray(band_widths, dtype=np.int64)
+    if widths.size == 0:
+        return 0.0, 0.0
+    if int(widths.min(initial=0)) < 0:
+        raise ConfigurationError("band widths must be non-negative")
+
+    # Cells are swept in segments of `threads_per_block`; every segment issues
+    # whole warps, so the instruction count is `ops_per_cell` per warp of
+    # (possibly partially full) lanes.
+    full_segments = widths // threads_per_block
+    remainder = widths - full_segments * threads_per_block
+    warps_per_full_segment = math.ceil(threads_per_block / warp_size)
+    warps_for_remainder = np.ceil(remainder / warp_size)
+    warp_issues = full_segments * warps_per_full_segment + warps_for_remainder
+    cell_instr = float(params.ops_per_cell * warp_issues.sum())
+
+    # Per-anti-diagonal overhead: reduction over the active threads
+    # (bounded by the scheduled thread count) plus fixed bookkeeping.
+    active = np.minimum(widths, threads_per_block)
+    active_warps = np.ceil(active / warp_size)
+    in_warp = active_warps * params.shuffle_steps_per_warp * params.instr_per_shuffle_step
+    cross = np.where(
+        active_warps > 1,
+        np.ceil(np.log2(np.maximum(active_warps, 1))) * params.instr_per_shuffle_step,
+        0.0,
+    )
+    per_diag = (
+        in_warp
+        + cross
+        + 2 * params.sync_warp_instructions
+        + params.bookkeeping_warp_instructions
+    )
+    overhead_instr = float(per_diag.sum())
+    return cell_instr, overhead_instr

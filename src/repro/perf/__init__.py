@@ -1,0 +1,17 @@
+"""Performance utilities: timers, metrics and CPU process-pool helpers."""
+
+from .metrics import BenchRow, BenchTable, gcups, speedup
+from .parallel import available_workers, chunk_evenly, parallel_map
+from .timers import StageTimer, Timer
+
+__all__ = [
+    "Timer",
+    "StageTimer",
+    "gcups",
+    "speedup",
+    "BenchRow",
+    "BenchTable",
+    "parallel_map",
+    "available_workers",
+    "chunk_evenly",
+]

@@ -1,0 +1,129 @@
+"""Performance metrics: GCUPS, speed-ups and benchmark report rows.
+
+GCUPS (giga cell updates per second) is the standard throughput metric for
+alignment kernels and the one the paper uses throughout Section VI; speed-up
+is always reported relative to a named baseline (SeqAn on 168 threads, ksw2
+on 80 threads, or BELLA-with-SeqAn).  The small dataclasses here are what
+the benchmark harness prints and serialises, one row per X value — the same
+rows as the paper's tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["gcups", "speedup", "BenchRow", "BenchTable"]
+
+
+def gcups(cells: int, seconds: float) -> float:
+    """Giga cell updates per second.
+
+    Returns ``inf`` for non-positive durations so degenerate timings are
+    visible rather than raising inside a benchmark loop.
+    """
+    if seconds <= 0:
+        return float("inf")
+    return cells / seconds / 1e9
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """Baseline time divided by accelerated time (``> 1`` means faster)."""
+    if accelerated_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / accelerated_seconds
+
+
+@dataclass
+class BenchRow:
+    """One row of a reproduced table: a parameter value plus named timings.
+
+    Attributes
+    ----------
+    parameter:
+        The swept parameter value (the X-drop threshold in Tables II-V, the
+        GPU count in Fig. 12).
+    values:
+        Column name -> value (seconds, GCUPS or speed-up, as labelled by the
+        owning table).
+    """
+
+    parameter: float
+    values: dict[str, float] = field(default_factory=dict)
+
+    def formatted(self, columns: Sequence[str], width: int = 14) -> str:
+        """Fixed-width text rendering of the row for the given column order."""
+        cells = [f"{self.parameter:>{width}g}"]
+        for col in columns:
+            val = self.values.get(col, float("nan"))
+            cells.append(f"{val:>{width}.3f}")
+        return "".join(cells)
+
+
+@dataclass
+class BenchTable:
+    """A reproduced table or figure series.
+
+    Collects :class:`BenchRow` objects, renders them as fixed-width text
+    (mirroring the layout of the paper's tables) and serialises to JSON so
+    EXPERIMENTS.md and regression checks can consume the numbers.
+    """
+
+    title: str
+    parameter_name: str
+    columns: list[str]
+    rows: list[BenchRow] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, parameter: float, **values: float) -> BenchRow:
+        """Append a row; unknown columns are added to the column list."""
+        for key in values:
+            if key not in self.columns:
+                self.columns.append(key)
+        row = BenchRow(parameter=parameter, values=dict(values))
+        self.rows.append(row)
+        return row
+
+    def column(self, name: str) -> list[float]:
+        """All values of one column, in row order (NaN when missing)."""
+        return [row.values.get(name, float("nan")) for row in self.rows]
+
+    def formatted(self, width: int = 14) -> str:
+        """Fixed-width text rendering of the whole table."""
+        header = [f"{self.parameter_name:>{width}s}"] + [
+            f"{c:>{width}s}" for c in self.columns
+        ]
+        lines = [self.title, "".join(header)]
+        lines.extend(row.formatted(self.columns, width) for row in self.rows)
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """JSON representation (used to archive benchmark outputs)."""
+        payload = {
+            "title": self.title,
+            "parameter_name": self.parameter_name,
+            "columns": self.columns,
+            "rows": [
+                {"parameter": row.parameter, **row.values} for row in self.rows
+            ],
+            "notes": self.notes,
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchTable":
+        """Rebuild a table from :meth:`to_json` output."""
+        payload = json.loads(text)
+        table = cls(
+            title=payload["title"],
+            parameter_name=payload["parameter_name"],
+            columns=list(payload["columns"]),
+            notes=payload.get("notes", ""),
+        )
+        for row in payload["rows"]:
+            parameter = row.pop("parameter")
+            table.rows.append(BenchRow(parameter=parameter, values=row))
+        return table

@@ -1,0 +1,89 @@
+"""Wall-clock timing helpers used by runners and benchmarks.
+
+Nothing fancy: a context-manager :class:`Timer` around
+``time.perf_counter`` and a :class:`StageTimer` that accumulates named
+stages (BELLA reports per-stage breakdowns: k-mer analysis, overlap,
+alignment), following the guide's advice to *measure before optimising*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+__all__ = ["Timer", "StageTimer"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None, "Timer.__exit__ called before __enter__"
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock time per named stage.
+
+    >>> st = StageTimer()
+    >>> with st.stage("overlap"):
+    ...     _ = sum(range(1000))
+    >>> "overlap" in st.stages
+    True
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under *name* (accumulating on repeats)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        """Sum of all stage times."""
+        return float(sum(self.stages.values()))
+
+    def fraction(self, name: str) -> float:
+        """Fraction of the total spent in *name* (0 if the stage never ran)."""
+        if self.total <= 0:
+            return 0.0
+        return self.stages.get(name, 0.0) / self.total
+
+    def report(self) -> str:
+        """Human-readable multi-line breakdown, longest stage first."""
+        lines = []
+        for name, secs in sorted(self.stages.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:<24s} {secs:10.3f} s  ({100 * self.fraction(name):5.1f} %)")
+        lines.append(f"{'total':<24s} {self.total:10.3f} s")
+        return "\n".join(lines)

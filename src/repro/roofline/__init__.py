@@ -1,0 +1,18 @@
+"""Instruction Roofline model, instrumentation and reporting (Fig. 13)."""
+
+from .instrument import RooflineAnalysis, RooflinePoint, analyze_kernel
+from .model import RooflineCeilings, adapted_ceiling, attainable_gips, roofline_ceilings
+from .report import RooflineSeries, build_series, render_ascii
+
+__all__ = [
+    "RooflineCeilings",
+    "roofline_ceilings",
+    "adapted_ceiling",
+    "attainable_gips",
+    "RooflinePoint",
+    "RooflineAnalysis",
+    "analyze_kernel",
+    "RooflineSeries",
+    "build_series",
+    "render_ascii",
+]

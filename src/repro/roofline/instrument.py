@@ -1,0 +1,130 @@
+"""Kernel instrumentation: place a LOGAN run on the instruction Roofline.
+
+The GPU execution model already accounts warp instructions, HBM bytes and
+modeled runtime for every kernel launch (:class:`~repro.gpusim.kernel.KernelTiming`).
+This module turns those numbers — plus the anti-diagonal width trace needed
+by the Eq. (1) adapted ceiling — into a :class:`RooflinePoint` that can be
+compared against the ceilings and rendered by :mod:`repro.roofline.report`,
+reproducing Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import KernelTiming
+from ..gpusim.trace import KernelWorkload
+from .model import RooflineCeilings, roofline_ceilings
+
+__all__ = ["RooflinePoint", "RooflineAnalysis", "analyze_kernel"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the instruction Roofline.
+
+    Attributes
+    ----------
+    operational_intensity:
+        Warp instructions per byte of HBM traffic.
+    warp_gips:
+        Achieved warp giga-instructions per second (modeled).
+    label:
+        Display label ("LOGAN X=100", ...).
+    """
+
+    operational_intensity: float
+    warp_gips: float
+    label: str = "LOGAN"
+
+
+@dataclass(frozen=True)
+class RooflineAnalysis:
+    """A Roofline point together with the ceilings it is judged against."""
+
+    point: RooflinePoint
+    ceilings: RooflineCeilings
+
+    @property
+    def is_compute_bound(self) -> bool:
+        """True when the kernel's OI lies right of the ridge point."""
+        return self.point.operational_intensity >= self.ceilings.ridge_point
+
+    @property
+    def attainable_gips(self) -> float:
+        """Roof value (adapted ceiling) at the kernel's operational intensity."""
+        return self.ceilings.roof_at(self.point.operational_intensity, adapted=True)
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the attainable (adapted) performance."""
+        attainable = self.attainable_gips
+        if attainable <= 0:
+            return 0.0
+        return min(1.5, self.point.warp_gips / attainable)
+
+
+def _mean_width_trace(workload: KernelWorkload, max_points: int = 4096) -> np.ndarray:
+    """Average anti-diagonal width per iteration index across blocks.
+
+    Blocks have different lengths; iteration ``i`` averages the widths of the
+    blocks that are still running at iteration ``i``, which is exactly the
+    per-iteration parallelism Eq. (1) averages over.  The trace is truncated
+    to ``max_points`` samples to keep the ceiling computation cheap.
+    """
+    longest = workload.max_anti_diagonals
+    if longest == 0:
+        raise ConfigurationError("workload has no traced anti-diagonals")
+    length = min(longest, max_points)
+    sums = np.zeros(length, dtype=np.float64)
+    counts = np.zeros(length, dtype=np.int64)
+    for block in workload.blocks:
+        widths = block.band_widths
+        if widths.size > length:
+            idx = np.linspace(0, widths.size - 1, length).astype(np.int64)
+            widths = widths[idx]
+        sums[: widths.size] += widths
+        counts[: widths.size] += 1
+    counts = np.maximum(counts, 1)
+    return sums / counts
+
+
+def analyze_kernel(
+    device: DeviceSpec,
+    timing: KernelTiming,
+    workload: KernelWorkload,
+    label: str = "LOGAN",
+) -> RooflineAnalysis:
+    """Build the Fig. 13 Roofline analysis for one modeled kernel launch.
+
+    Parameters
+    ----------
+    device:
+        The device the kernel was modeled on.
+    timing:
+        The kernel timing returned by the execution model.
+    workload:
+        The traced workload that produced the timing (provides the
+        per-iteration width trace for the adapted ceiling).
+    label:
+        Label for the plotted point.
+    """
+    # Validate the workload (and build the per-iteration trace) before
+    # touching the timing so an empty workload fails with a clear error.
+    width_trace = _mean_width_trace(workload)
+    point = RooflinePoint(
+        operational_intensity=timing.operational_intensity,
+        warp_gips=timing.warp_gips,
+        label=label,
+    )
+    ceilings = roofline_ceilings(
+        device,
+        per_iteration_ops=width_trace,
+        blocks=timing.blocks,
+        threads_per_block=timing.threads_per_block,
+    )
+    return RooflineAnalysis(point=point, ceilings=ceilings)

@@ -1,0 +1,149 @@
+"""Instruction Roofline model adapted to the X-drop kernel (Section VII).
+
+The paper analyses LOGAN with an *instruction* Roofline: the y-axis is warp
+giga-instructions per second (warp GIPS) because the kernel performs only
+integer work, the x-axis is operational intensity in warp instructions per
+byte of HBM traffic, and two ceilings bound the achievable performance:
+
+* the hardware ceilings — peak warp GIPS, the INT32-only ceiling
+  (220.8 warp GIPS on a V100) and the memory roof ``bandwidth * OI``;
+* the *adapted* ceiling of Eq. (1), which lowers the INT32 roof by the
+  average fraction of INT32 lanes the kernel can actually keep busy given
+  its per-iteration parallelism (anti-diagonal width x blocks) — scheduling
+  1024 threads for a 40-cell anti-diagonal cannot reach the raw ceiling no
+  matter how well tuned the code is.
+
+This module computes all of those ceilings from a
+:class:`~repro.gpusim.device.DeviceSpec` and the per-iteration work trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..gpusim.device import DeviceSpec
+
+__all__ = ["RooflineCeilings", "roofline_ceilings", "adapted_ceiling", "attainable_gips"]
+
+
+@dataclass(frozen=True)
+class RooflineCeilings:
+    """The ceilings of the instruction Roofline plot for one device/kernel.
+
+    Attributes
+    ----------
+    peak_warp_gips:
+        Theoretical warp-instruction issue ceiling of the device.
+    int32_warp_gips:
+        INT32-only ceiling (16 of 32 lanes per scheduler).
+    adapted_warp_gips:
+        Eq. (1) ceiling: the INT32 roof averaged over the kernel's
+        iterations, accounting for partially-filled warps and blocks.
+    memory_bandwidth_gbps:
+        HBM bandwidth defining the sloped memory roof.
+    ridge_point:
+        Operational intensity at which the memory roof meets the INT32 roof.
+    """
+
+    peak_warp_gips: float
+    int32_warp_gips: float
+    adapted_warp_gips: float
+    memory_bandwidth_gbps: float
+
+    @property
+    def ridge_point(self) -> float:
+        """OI (warp instructions / byte) where memory and INT32 roofs intersect."""
+        return self.int32_warp_gips / self.memory_bandwidth_gbps
+
+    def roof_at(self, operational_intensity: float, adapted: bool = True) -> float:
+        """Attainable warp GIPS at a given operational intensity."""
+        if operational_intensity < 0:
+            raise ConfigurationError("operational intensity must be non-negative")
+        compute_roof = self.adapted_warp_gips if adapted else self.int32_warp_gips
+        return min(compute_roof, self.memory_bandwidth_gbps * operational_intensity)
+
+
+def adapted_ceiling(
+    device: DeviceSpec,
+    per_iteration_ops: Sequence[float] | np.ndarray,
+    blocks: int,
+    threads_per_block: int,
+) -> float:
+    """Eq. (1) of the paper: the ceiling adapted to the kernel's parallelism.
+
+    ``Ceiling = (1/N) * sum_i [ f * N_op,i * B / ceil(T * B / MAXR) ]``
+
+    where ``N`` is the number of parallel iterations (anti-diagonals), ``f``
+    the theoretical INT32 ceiling per *operation slot*, ``N_op,i`` the number
+    of operations each block must execute at iteration ``i`` normalised by
+    the work one fully-occupied scheduling round can retire, ``B`` the number
+    of scheduled blocks, ``T`` the threads per block and ``MAXR`` the number
+    of INT32 cores on the device.
+
+    Interpreted concretely: at every iteration the device would like to
+    retire ``T * B`` lanes of work per scheduling round but only ``MAXR``
+    INT32 lanes exist, so the round takes ``ceil(T * B / MAXR)`` issue slots;
+    if the iteration only carries ``N_op,i`` active lanes per block, the
+    achieved fraction of the ceiling is ``N_op,i * B / (T * B)`` of the ideal
+    — averaging over iterations yields the attainable ceiling.
+
+    Parameters
+    ----------
+    device:
+        Device specification (provides ``f`` and ``MAXR``).
+    per_iteration_ops:
+        Active lanes (cells) per block at every iteration — for LOGAN, the
+        anti-diagonal width trace, averaged over blocks.
+    blocks:
+        Number of scheduled blocks ``B``.
+    threads_per_block:
+        Scheduled threads per block ``T``.
+    """
+    if blocks <= 0 or threads_per_block <= 0:
+        raise ConfigurationError("blocks and threads_per_block must be positive")
+    ops = np.asarray(per_iteration_ops, dtype=np.float64)
+    if ops.size == 0:
+        raise ConfigurationError("per_iteration_ops must not be empty")
+    if np.any(ops < 0):
+        raise ConfigurationError("per_iteration_ops must be non-negative")
+
+    f = device.int32_peak_warp_gips
+    maxr = device.total_int32_cores
+    # Issue rounds a fully-populated iteration needs on MAXR INT32 lanes.
+    rounds = max(1.0, float(np.ceil(threads_per_block * blocks / maxr)))
+    # Active lanes per block are bounded by the scheduled thread count.
+    active = np.minimum(ops, threads_per_block)
+    # Eq. (1): ceiling_i = f * N_op,i * B / ceil(T * B / MAXR), normalised by
+    # the lanes a saturated launch would retire per round (T * B / rounds) so
+    # the ceiling equals f when every scheduled lane is busy.
+    lanes_per_round = threads_per_block * blocks / rounds
+    per_iteration_ceiling = f * (active * blocks / rounds) / lanes_per_round
+    return float(per_iteration_ceiling.mean())
+
+
+def roofline_ceilings(
+    device: DeviceSpec,
+    per_iteration_ops: Sequence[float] | np.ndarray,
+    blocks: int,
+    threads_per_block: int,
+) -> RooflineCeilings:
+    """All ceilings needed to draw the Fig. 13 Roofline for one kernel run."""
+    return RooflineCeilings(
+        peak_warp_gips=device.peak_warp_gips,
+        int32_warp_gips=device.int32_peak_warp_gips,
+        adapted_warp_gips=adapted_ceiling(
+            device, per_iteration_ops, blocks, threads_per_block
+        ),
+        memory_bandwidth_gbps=device.hbm_bandwidth_gbps,
+    )
+
+
+def attainable_gips(
+    ceilings: RooflineCeilings, operational_intensity: float, adapted: bool = True
+) -> float:
+    """Convenience wrapper around :meth:`RooflineCeilings.roof_at`."""
+    return ceilings.roof_at(operational_intensity, adapted=adapted)

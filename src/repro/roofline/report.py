@@ -1,0 +1,129 @@
+"""Text/series rendering of the instruction Roofline (Fig. 13).
+
+No plotting library is assumed to be available, so the report produces
+
+* the numeric series needed to recreate the figure in any plotting tool
+  (ceiling lines sampled over a log-spaced OI range plus the kernel point),
+  serialisable to JSON, and
+* a simple ASCII log-log rendering for terminal inspection, with the memory
+  roof, the INT32 roof, the adapted ceiling and the kernel's point.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .instrument import RooflineAnalysis
+
+__all__ = ["RooflineSeries", "build_series", "render_ascii"]
+
+
+@dataclass
+class RooflineSeries:
+    """Numeric series of a Roofline plot.
+
+    Attributes
+    ----------
+    operational_intensity:
+        Log-spaced OI sample positions (warp instructions / byte).
+    memory_roof, int32_roof, adapted_roof:
+        Attainable warp GIPS at each sample position for the three ceilings.
+    point_oi, point_gips, point_label:
+        The kernel's measured/modeled position.
+    """
+
+    operational_intensity: list[float]
+    memory_roof: list[float]
+    int32_roof: list[float]
+    adapted_roof: list[float]
+    point_oi: float
+    point_gips: float
+    point_label: str
+    ridge_point: float
+
+    def to_json(self) -> str:
+        """JSON representation for archiving / external plotting."""
+        return json.dumps(self.__dict__, indent=2)
+
+
+def build_series(
+    analysis: RooflineAnalysis, oi_min: float = 1e-2, oi_max: float = 1e3, samples: int = 64
+) -> RooflineSeries:
+    """Sample the Roofline ceilings around the kernel's operational intensity."""
+    if oi_min <= 0 or oi_max <= oi_min:
+        raise ConfigurationError("need 0 < oi_min < oi_max")
+    if samples < 2:
+        raise ConfigurationError("samples must be at least 2")
+    ceilings = analysis.ceilings
+    oi = np.logspace(math.log10(oi_min), math.log10(oi_max), samples)
+    memory = ceilings.memory_bandwidth_gbps * oi
+    int32 = np.minimum(memory, ceilings.int32_warp_gips)
+    adapted = np.minimum(memory, ceilings.adapted_warp_gips)
+    return RooflineSeries(
+        operational_intensity=[float(x) for x in oi],
+        memory_roof=[float(x) for x in memory],
+        int32_roof=[float(x) for x in int32],
+        adapted_roof=[float(x) for x in adapted],
+        point_oi=analysis.point.operational_intensity,
+        point_gips=analysis.point.warp_gips,
+        point_label=analysis.point.label,
+        ridge_point=ceilings.ridge_point,
+    )
+
+
+def render_ascii(series: RooflineSeries, width: int = 72, height: int = 20) -> str:
+    """ASCII log-log rendering of the Roofline (ceilings + kernel point)."""
+    if width < 20 or height < 8:
+        raise ConfigurationError("plot must be at least 20x8 characters")
+    oi = np.asarray(series.operational_intensity)
+    all_gips = np.concatenate(
+        [series.int32_roof, series.adapted_roof, [max(series.point_gips, 1e-3)]]
+    )
+    y_max = float(np.max(all_gips)) * 1.5
+    y_min = max(1e-2, float(np.min(all_gips)) / 10)
+    x_min, x_max = float(oi.min()), float(oi.max())
+
+    def col(x: float) -> int:
+        return int(
+            (math.log10(x) - math.log10(x_min))
+            / (math.log10(x_max) - math.log10(x_min))
+            * (width - 1)
+        )
+
+    def row(y: float) -> int:
+        y = min(max(y, y_min), y_max)
+        return (height - 1) - int(
+            (math.log10(y) - math.log10(y_min))
+            / (math.log10(y_max) - math.log10(y_min))
+            * (height - 1)
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, mem, hard, soft in zip(
+        series.operational_intensity,
+        series.memory_roof,
+        series.int32_roof,
+        series.adapted_roof,
+    ):
+        c = col(x)
+        if y_min <= mem <= y_max:
+            grid[row(mem)][c] = "/"
+        grid[row(hard)][c] = "="
+        grid[row(soft)][c] = "-"
+    pr, pc = row(max(series.point_gips, y_min)), col(
+        min(max(series.point_oi, x_min), x_max)
+    )
+    grid[pr][pc] = "*"
+
+    lines = ["Instruction Roofline (=: INT32 roof, -: adapted ceiling, /: memory roof, *: kernel)"]
+    lines.extend("".join(r) for r in grid)
+    lines.append(
+        f"OI = {series.point_oi:.3g} warp-instr/byte, performance = "
+        f"{series.point_gips:.1f} warp GIPS, ridge point = {series.ridge_point:.3g}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures are deliberately small (sequences of at most a few hundred bases,
+a handful of reads) so the whole suite runs in well under a minute while
+still exercising every code path; the benchmark harness is where realistic
+sizes live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ScoringScheme, Seed, random_sequence
+from repro.core.job import AlignmentJob
+from repro.data import ErrorModel, apply_errors
+from repro.data.pairs import PairSetSpec, generate_pair_set
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def scoring() -> ScoringScheme:
+    """BELLA / LOGAN default scoring scheme."""
+    return ScoringScheme(match=1, mismatch=-1, gap=-1)
+
+
+@pytest.fixture
+def similar_pair(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A 300 bp pair with ~10 % divergence (a typical aligning pair)."""
+    template = random_sequence(300, rng)
+    noisy = apply_errors(template, ErrorModel.with_total(0.10), rng)
+    return template, noisy
+
+
+@pytest.fixture
+def divergent_pair(rng) -> tuple[np.ndarray, np.ndarray]:
+    """Two unrelated 300 bp sequences (the early-termination case)."""
+    return random_sequence(300, rng), random_sequence(300, rng)
+
+
+@pytest.fixture
+def small_jobs(rng) -> list[AlignmentJob]:
+    """Eight small alignment jobs with mid-read seeds (fast batch fixture)."""
+    spec = PairSetSpec(
+        num_pairs=8,
+        min_length=150,
+        max_length=300,
+        pairwise_error_rate=0.12,
+        seed_length=11,
+        seed_placement="middle",
+        rng_seed=99,
+    )
+    return generate_pair_set(spec)
+
+
+@pytest.fixture
+def start_seed_jobs() -> list[AlignmentJob]:
+    """Six small jobs seeded at position 0 (the LOGAN benchmark convention)."""
+    spec = PairSetSpec(
+        num_pairs=6,
+        min_length=120,
+        max_length=240,
+        pairwise_error_rate=0.15,
+        seed_length=9,
+        seed_placement="start",
+        rng_seed=7,
+    )
+    return generate_pair_set(spec)
+
+
+@pytest.fixture
+def tiny_reads(rng) -> list:
+    """A tiny synthetic read set with guaranteed overlaps (for BELLA tests)."""
+    from repro.data import simulate_genome, simulate_reads
+
+    genome = simulate_genome(6000, rng=rng)
+    return simulate_reads(
+        genome,
+        num_reads=14,
+        mean_length=900,
+        length_spread=200,
+        error_model=ErrorModel.with_total(0.08),
+        rng=rng,
+    )

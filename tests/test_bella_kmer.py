@@ -1,0 +1,128 @@
+"""Tests for BELLA's k-mer analysis stage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bella import build_kmer_index, count_kmers, pack_kmers, reliable_kmer_range
+from repro.core import decode, encode, random_sequence
+from repro.errors import ConfigurationError
+
+SEQ = st.text(alphabet="ACGT", min_size=5, max_size=80)
+
+
+class TestPackKmers:
+    def test_simple_packing(self):
+        codes, positions = pack_kmers("ACGT", 2)
+        # AC=0b0001=1, CG=0b0110=6, GT=0b1011=11
+        assert codes.tolist() == [1, 6, 11]
+        assert positions.tolist() == [0, 1, 2]
+
+    def test_kmers_with_n_are_skipped(self):
+        codes, positions = pack_kmers("ACNGT", 2)
+        assert positions.tolist() == [0, 3]
+
+    def test_sequence_shorter_than_k(self):
+        codes, positions = pack_kmers("ACG", 5)
+        assert len(codes) == 0 and len(positions) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            pack_kmers("ACGT", 0)
+        with pytest.raises(ConfigurationError):
+            pack_kmers("ACGT", 32)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seq=SEQ, k=st.integers(min_value=1, max_value=8))
+    def test_codes_are_injective_over_kmers(self, seq, k):
+        if len(seq) < k:
+            return
+        codes, positions = pack_kmers(seq, k)
+        kmers = [seq[p : p + k] for p in positions.tolist()]
+        mapping = {}
+        for code, kmer in zip(codes.tolist(), kmers):
+            assert mapping.setdefault(code, kmer) == kmer
+
+    def test_identical_kmers_same_code(self):
+        codes, _ = pack_kmers("ACGACG", 3)
+        assert codes[0] == codes[3]
+
+
+class TestCountKmers:
+    def test_counts_across_reads(self):
+        counts = count_kmers(["ACGT", "ACGA"], 3)
+        acg = pack_kmers("ACG", 3)[0][0]
+        assert counts[int(acg)] == 2
+
+    def test_counts_within_read(self):
+        counts = count_kmers(["ACGACGACG"], 3)
+        acg = int(pack_kmers("ACG", 3)[0][0])
+        assert counts[acg] == 3
+
+
+class TestReliableRange:
+    def test_returns_sensible_bounds(self):
+        lower, upper = reliable_kmer_range(coverage=15, error_rate=0.15, k=17)
+        assert lower == 2
+        assert upper >= 8
+
+    def test_higher_coverage_raises_upper(self):
+        _, low_cov = reliable_kmer_range(10, 0.1, 17)
+        _, high_cov = reliable_kmer_range(60, 0.1, 17)
+        assert high_cov >= low_cov
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            reliable_kmer_range(0, 0.1, 17)
+        with pytest.raises(ConfigurationError):
+            reliable_kmer_range(10, 1.5, 17)
+        with pytest.raises(ConfigurationError):
+            reliable_kmer_range(10, 0.1, 0)
+
+
+class TestBuildKmerIndex:
+    def test_shared_kmers_are_indexed(self):
+        reads = ["AAACGTACGTAAA", "TTTCGTACGTTTT", "GGGGGGGGGGGGG"]
+        index = build_kmer_index(reads, k=5, lower=2)
+        assert index.num_reads == 3
+        # "CGTAC", "GTACG", "TACGT" are shared between reads 0 and 1.
+        shared_codes = [
+            code for code, occ in index.occurrences.items() if len(occ) >= 2
+        ]
+        assert len(shared_codes) >= 3
+        for code in shared_codes:
+            readset = {read for read, _ in index.occurrences[code]}
+            assert readset == {0, 1}
+
+    def test_singleton_kmers_pruned(self):
+        reads = ["ACGTACGTACGT", "TGCATGCATGCA"]
+        index = build_kmer_index(reads, k=6, lower=2)
+        assert index.retained_kmers == 0
+        assert index.pruned_fraction == 1.0
+
+    def test_upper_bound_prunes_repeats(self):
+        reads = ["ACGTACGT"] * 10 + ["TTTTTTTT"]
+        index = build_kmer_index(reads, k=4, lower=2, upper=5)
+        # k-mers of the repeated read occur in 10 reads > upper -> pruned.
+        assert all(len(occ) <= 5 for occ in index.occurrences.values())
+
+    def test_first_position_per_read_is_kept(self):
+        reads = ["ACGACGACG", "ACGTTTTTT"]
+        index = build_kmer_index(reads, k=3, lower=2)
+        acg = int(pack_kmers("ACG", 3)[0][0])
+        positions = dict(index.occurrences[acg])
+        assert positions[0] == 0  # first occurrence in read 0
+        assert positions[1] == 0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            build_kmer_index(["ACGT"], k=2, lower=0)
+        with pytest.raises(ConfigurationError):
+            build_kmer_index(["ACGT"], k=2, lower=3, upper=2)
+
+    def test_accepts_encoded_reads(self, rng):
+        reads = [random_sequence(60, rng) for _ in range(4)]
+        index = build_kmer_index(reads, k=9, lower=1)
+        assert index.total_kmers > 0

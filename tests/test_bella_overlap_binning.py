@@ -1,0 +1,130 @@
+"""Tests for BELLA's SpGEMM overlap detection and seed binning stages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bella import (
+    CandidateOverlap,
+    build_kmer_index,
+    build_occurrence_matrix,
+    choose_seed,
+    estimate_overlap_length,
+    find_candidate_overlaps,
+)
+from repro.core import decode, random_sequence
+from repro.errors import ConfigurationError
+
+
+def _overlapping_reads(rng, n_reads=6, read_len=300, step=150):
+    """Reads tiled over a synthetic genome so neighbours overlap by half."""
+    genome = random_sequence(step * (n_reads + 1) + read_len, rng)
+    return [genome[i * step : i * step + read_len] for i in range(n_reads)]
+
+
+class TestOccurrenceMatrix:
+    def test_shape_and_counts(self, rng):
+        reads = _overlapping_reads(rng)
+        index = build_kmer_index(reads, k=15, lower=2)
+        matrix = build_occurrence_matrix(index)
+        assert matrix.shape[0] == len(reads)
+        assert matrix.shape[1] == index.retained_kmers
+        assert matrix.nnz == sum(len(o) for o in index.occurrences.values())
+
+
+class TestFindCandidateOverlaps:
+    def test_neighbouring_reads_are_candidates(self, rng):
+        reads = _overlapping_reads(rng)
+        index = build_kmer_index(reads, k=15, lower=2)
+        overlaps = find_candidate_overlaps(index)
+        pairs = {c.pair for c in overlaps.candidates}
+        for i in range(len(reads) - 1):
+            assert (i, i + 1) in pairs
+
+    def test_distant_reads_share_nothing(self, rng):
+        reads = _overlapping_reads(rng)
+        index = build_kmer_index(reads, k=15, lower=2)
+        overlaps = find_candidate_overlaps(index)
+        pairs = {c.pair for c in overlaps.candidates}
+        assert (0, len(reads) - 1) not in pairs
+
+    def test_candidates_sorted_and_unique(self, rng):
+        reads = _overlapping_reads(rng)
+        index = build_kmer_index(reads, k=15, lower=2)
+        overlaps = find_candidate_overlaps(index)
+        pairs = [c.pair for c in overlaps.candidates]
+        assert pairs == sorted(pairs)
+        assert len(pairs) == len(set(pairs))
+        assert all(i < j for i, j in pairs)
+
+    def test_shared_counts_match_positions(self, rng):
+        reads = _overlapping_reads(rng)
+        index = build_kmer_index(reads, k=15, lower=2)
+        overlaps = find_candidate_overlaps(index)
+        for cand in overlaps.candidates:
+            assert cand.shared_kmers == len(cand.seed_positions)
+
+    def test_min_shared_kmers_filter(self, rng):
+        reads = _overlapping_reads(rng)
+        index = build_kmer_index(reads, k=15, lower=2)
+        all_pairs = find_candidate_overlaps(index, min_shared_kmers=1).num_candidates
+        strict = find_candidate_overlaps(index, min_shared_kmers=30).num_candidates
+        assert strict <= all_pairs
+
+    def test_invalid_min_shared(self, rng):
+        reads = _overlapping_reads(rng)
+        index = build_kmer_index(reads, k=15, lower=2)
+        with pytest.raises(ConfigurationError):
+            find_candidate_overlaps(index, min_shared_kmers=0)
+
+
+class TestEstimateOverlapLength:
+    def test_centre_seed(self):
+        assert estimate_overlap_length(100, 100, 300, 300) == 300
+
+    def test_offset_seed(self):
+        # Read i suffix overlaps read j prefix.
+        assert estimate_overlap_length(200, 50, 300, 300) == 50 + 100
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ConfigurationError):
+            estimate_overlap_length(0, 0, 0, 10)
+
+
+class TestChooseSeed:
+    def test_consensus_bin_wins(self):
+        # Ten k-mers on the true diagonal (~ +100) and two repeat-induced
+        # outliers far away: the consensus diagonal must win.
+        true_diag = [(100 + 10 * i, 10 * i) for i in range(10)]
+        outliers = [(5, 280), (8, 290)]
+        cand = CandidateOverlap(
+            read_i=0, read_j=1, shared_kmers=12, seed_positions=true_diag + outliers
+        )
+        choice = choose_seed(cand, kmer_length=17, len_i=400, len_j=400, bin_width=64)
+        assert choice.bin_support == 10
+        assert 64 <= choice.bin_diagonal <= 128
+        picked_diag = choice.seed.query_pos - choice.seed.target_pos
+        assert picked_diag == 100
+
+    def test_overlap_estimate_reflects_seed(self):
+        cand = CandidateOverlap(0, 1, 1, [(150, 50)])
+        choice = choose_seed(cand, kmer_length=17, len_i=300, len_j=300, bin_width=100)
+        assert choice.overlap_estimate == 50 + 150
+
+    def test_no_positions_rejected(self):
+        cand = CandidateOverlap(0, 1, 0, [])
+        with pytest.raises(ConfigurationError):
+            choose_seed(cand, kmer_length=17, len_i=300, len_j=300)
+
+    def test_invalid_bin_width(self):
+        cand = CandidateOverlap(0, 1, 1, [(0, 0)])
+        with pytest.raises(ConfigurationError):
+            choose_seed(cand, kmer_length=17, len_i=10, len_j=10, bin_width=0)
+
+    def test_seed_is_within_reads(self, rng):
+        positions = [(int(rng.integers(0, 200)), int(rng.integers(0, 200))) for _ in range(20)]
+        cand = CandidateOverlap(0, 1, len(positions), positions)
+        choice = choose_seed(cand, kmer_length=17, len_i=250, len_j=250)
+        assert 0 <= choice.seed.query_pos <= 250 - 1
+        assert 0 <= choice.seed.target_pos <= 250 - 1

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface entry points."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main_align, main_bella
+from repro.data import SequenceRecord, write_fasta
+
+
+class TestReproAlign:
+    def test_synthetic_run_json(self, capsys):
+        exit_code = main_align(
+            [
+                "--pairs", "4",
+                "--min-length", "120",
+                "--max-length", "200",
+                "--xdrop", "15",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pairs"] == 4
+        assert payload["modeled_seconds"] > 0
+        assert payload["measured_gcups"] > 0
+
+    def test_baseline_comparison(self, capsys):
+        exit_code = main_align(
+            [
+                "--pairs", "3",
+                "--min-length", "100",
+                "--max-length", "150",
+                "--xdrop", "10",
+                "--baseline",
+                "--replicate-to", "1000",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scores_identical"] is True
+        assert payload["baseline_modeled_seconds"] > 0
+        assert payload["modeled_speedup"] > 0
+
+    def test_fasta_inputs(self, tmp_path, capsys):
+        q = tmp_path / "q.fasta"
+        t = tmp_path / "t.fasta"
+        write_fasta(q, [SequenceRecord("a", "ACGTACGTACGTACGT" * 4)])
+        write_fasta(t, [SequenceRecord("b", "ACGTACGTACGTACGT" * 4)])
+        exit_code = main_align(
+            ["--query-fasta", str(q), "--target-fasta", str(t), "--xdrop", "10", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pairs"] == 1
+        assert payload["mean_score"] == 64.0
+
+    def test_mismatched_fasta_counts_error(self, tmp_path):
+        q = tmp_path / "q.fasta"
+        t = tmp_path / "t.fasta"
+        write_fasta(q, [SequenceRecord("a", "ACGT"), SequenceRecord("b", "ACGT")])
+        write_fasta(t, [SequenceRecord("c", "ACGT")])
+        with pytest.raises(SystemExit):
+            main_align(["--query-fasta", str(q), "--target-fasta", str(t)])
+
+    def test_human_readable_output(self, capsys):
+        assert main_align(["--pairs", "2", "--min-length", "100", "--max-length", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "modeled_seconds" in out
+
+
+class TestReproBella:
+    def test_dataset_run_json(self, capsys):
+        exit_code = main_bella(
+            [
+                "--dataset", "ecoli_like",
+                "--scale", "0.03",
+                "--kmer", "13",
+                "--xdrop", "10",
+                "--aligner", "logan",
+                "--min-overlap", "300",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reads"] > 0
+        assert payload["aligner"] == "logan"
+        assert "alignment" in payload["stage_seconds"] or payload["aligned"] == 0
+
+    def test_fasta_input_with_seqan_kernel(self, tmp_path, capsys):
+        # Three overlapping reads carved from one template.
+        template = ("ACGT" * 200)
+        reads = [
+            SequenceRecord("r0", template[0:400]),
+            SequenceRecord("r1", template[200:600]),
+            SequenceRecord("r2", template[400:800]),
+        ]
+        path = tmp_path / "reads.fasta"
+        write_fasta(path, reads)
+        exit_code = main_bella(
+            [
+                "--fasta", str(path),
+                "--kmer", "13",
+                "--xdrop", "10",
+                "--aligner", "seqan",
+                "--min-overlap", "100",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reads"] == 3

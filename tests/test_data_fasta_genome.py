@@ -1,0 +1,134 @@
+"""Tests for FASTA/FASTQ I/O and the synthetic genome generator."""
+
+from __future__ import annotations
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Genome,
+    RepeatSpec,
+    SequenceRecord,
+    read_fasta,
+    read_fastq,
+    simulate_genome,
+    write_fasta,
+    write_fastq,
+)
+from repro.errors import DatasetError
+
+
+class TestFastaRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        records = [
+            SequenceRecord("read1", "ACGT" * 30),
+            SequenceRecord("read2", "GGGTTTAAA"),
+        ]
+        path = tmp_path / "test.fasta"
+        assert write_fasta(path, records) == 2
+        loaded = list(read_fasta(path))
+        assert [r.name for r in loaded] == ["read1", "read2"]
+        assert [r.sequence for r in loaded] == [r.sequence for r in records]
+
+    def test_multiline_wrapping(self, tmp_path):
+        path = tmp_path / "wrap.fasta"
+        write_fasta(path, [SequenceRecord("r", "A" * 205)], line_width=50)
+        text = path.read_text()
+        assert max(len(line) for line in text.splitlines()) <= 50
+        assert list(read_fasta(path))[0].sequence == "A" * 205
+
+    def test_gzip_reading(self, tmp_path):
+        path = tmp_path / "test.fasta.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(">r1\nACGT\n>r2\nTTTT\n")
+        loaded = list(read_fasta(path))
+        assert len(loaded) == 2
+        assert loaded[1].sequence == "TTTT"
+
+    def test_header_name_stops_at_whitespace(self, tmp_path):
+        path = tmp_path / "desc.fasta"
+        path.write_text(">read7 length=4 sample\nACGT\n")
+        assert list(read_fasta(path))[0].name == "read7"
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n")
+        with pytest.raises(DatasetError):
+            list(read_fasta(path))
+
+    def test_empty_record_raises(self, tmp_path):
+        path = tmp_path / "empty.fasta"
+        path.write_text(">r1\n>r2\nACGT\n")
+        with pytest.raises(DatasetError):
+            list(read_fasta(path))
+
+    def test_invalid_line_width(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_fasta(tmp_path / "x.fasta", [SequenceRecord("r", "ACGT")], line_width=0)
+
+
+class TestFastqRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        records = [SequenceRecord("r1", "ACGT", "IIII"), SequenceRecord("r2", "GG")]
+        path = tmp_path / "test.fastq"
+        assert write_fastq(path, records) == 2
+        loaded = list(read_fastq(path))
+        assert loaded[0].quality == "IIII"
+        assert loaded[1].quality == "~~"
+
+    def test_malformed_header_raises(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("read1\nACGT\n+\nIIII\n")
+        with pytest.raises(DatasetError):
+            list(read_fastq(path))
+
+    def test_truncated_record_raises(self, tmp_path):
+        path = tmp_path / "trunc.fastq"
+        path.write_text("@r1\nACGT\n+\nII\n")
+        with pytest.raises(DatasetError):
+            list(read_fastq(path))
+
+    def test_quality_length_mismatch_on_write(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_fastq(tmp_path / "x.fastq", [SequenceRecord("r", "ACGT", "II")])
+
+
+class TestSimulateGenome:
+    def test_length_and_alphabet(self, rng):
+        genome = simulate_genome(5000, rng=rng)
+        assert len(genome) == 5000
+        assert genome.sequence.max() <= 3
+        assert genome.to_string()[:5].isalpha()
+
+    def test_deterministic_with_seed(self):
+        a = simulate_genome(1000, rng=np.random.default_rng(3))
+        b = simulate_genome(1000, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.sequence, b.sequence)
+
+    def test_repeats_are_planted(self, rng):
+        spec = RepeatSpec(length=200, copies=3, divergence=0.0)
+        genome = simulate_genome(5000, repeats=[spec], rng=rng)
+        assert len(genome.repeat_positions) == 3
+        start0, end0 = genome.repeat_positions[0]
+        start1, end1 = genome.repeat_positions[-1]
+        # Identical copies (zero divergence) unless they overlapped each other.
+        if end0 <= start1 or end1 <= start0:
+            np.testing.assert_array_equal(
+                genome.sequence[start0:end0], genome.sequence[start1:end1]
+            )
+
+    def test_invalid_length(self):
+        with pytest.raises(DatasetError):
+            simulate_genome(0)
+
+    def test_repeat_longer_than_genome_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            simulate_genome(100, repeats=[RepeatSpec(length=200, copies=1)], rng=rng)
+
+    def test_repeat_spec_validation(self):
+        with pytest.raises(DatasetError):
+            RepeatSpec(length=0, copies=1)
+        with pytest.raises(DatasetError):
+            RepeatSpec(length=10, copies=1, divergence=1.5)

@@ -1,0 +1,121 @@
+"""Tests for repro.core.encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import encoding
+from repro.errors import SequenceError
+
+DNA = st.text(alphabet="ACGTacgtN", min_size=1, max_size=200)
+
+
+class TestEncode:
+    def test_simple_string(self):
+        np.testing.assert_array_equal(
+            encoding.encode("ACGT"), np.array([0, 1, 2, 3], dtype=np.uint8)
+        )
+
+    def test_lower_case(self):
+        np.testing.assert_array_equal(encoding.encode("acgt"), encoding.encode("ACGT"))
+
+    def test_n_maps_to_wildcard(self):
+        assert encoding.encode("N")[0] == encoding.WILDCARD_CODE
+
+    def test_unknown_character_maps_to_wildcard(self):
+        assert encoding.encode("X")[0] == encoding.WILDCARD_CODE
+
+    def test_bytes_input(self):
+        np.testing.assert_array_equal(encoding.encode(b"ACGT"), encoding.encode("ACGT"))
+
+    def test_already_encoded_passthrough(self):
+        arr = np.array([0, 1, 2, 3], dtype=np.uint8)
+        out = encoding.encode(arr)
+        assert out.dtype == np.uint8
+        np.testing.assert_array_equal(out, arr)
+
+    def test_empty_string_raises(self):
+        with pytest.raises(SequenceError):
+            encoding.encode("")
+
+    def test_empty_array_raises(self):
+        with pytest.raises(SequenceError):
+            encoding.encode(np.empty(0, dtype=np.uint8))
+
+    def test_wrong_dtype_raises(self):
+        with pytest.raises(SequenceError):
+            encoding.encode(np.array([0, 1], dtype=np.int64))
+
+    def test_out_of_range_codes_raise(self):
+        with pytest.raises(SequenceError):
+            encoding.encode(np.array([0, 9], dtype=np.uint8))
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(SequenceError):
+            encoding.encode(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_non_sequence_type_raises(self):
+        with pytest.raises(SequenceError):
+            encoding.encode(12345)
+
+    def test_result_is_contiguous(self):
+        assert encoding.encode("ACGTACGT").flags["C_CONTIGUOUS"]
+
+
+class TestDecode:
+    def test_round_trip(self):
+        assert encoding.decode(encoding.encode("ACGTN")) == "ACGTN"
+
+    @given(DNA)
+    def test_round_trip_property(self, seq):
+        normalised = seq.upper().replace("N", "N")
+        expected = "".join(c if c in "ACGT" else "N" for c in normalised)
+        assert encoding.decode(encoding.encode(seq)) == expected
+
+
+class TestReverseComplement:
+    def test_simple(self):
+        assert encoding.decode(encoding.reverse_complement("ACGT")) == "ACGT"
+        assert encoding.decode(encoding.reverse_complement("AAAC")) == "GTTT"
+
+    def test_n_stays_n(self):
+        assert encoding.decode(encoding.reverse_complement("ANT")) == "ANT"
+
+    @given(DNA)
+    def test_involution(self, seq):
+        once = encoding.reverse_complement(seq)
+        twice = encoding.reverse_complement(once)
+        np.testing.assert_array_equal(twice, encoding.encode(seq))
+
+    def test_reverse_is_contiguous_copy(self):
+        original = encoding.encode("ACGTT")
+        reversed_ = encoding.reverse(original)
+        assert reversed_.flags["C_CONTIGUOUS"]
+        assert reversed_[0] == original[-1]
+        reversed_[0] = 0
+        assert original[-1] != 0 or original[-1] == 0  # original untouched check below
+        np.testing.assert_array_equal(original, encoding.encode("ACGTT"))
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self, rng):
+        seq = encoding.random_sequence(500, rng)
+        assert len(seq) == 500
+        assert seq.dtype == np.uint8
+        assert seq.max() <= 3
+
+    def test_deterministic_with_seed(self):
+        a = encoding.random_sequence(64, np.random.default_rng(1))
+        b = encoding.random_sequence(64, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_length_raises(self):
+        with pytest.raises(SequenceError):
+            encoding.random_sequence(0)
+
+    def test_encode_batch_preserves_order(self):
+        batch = encoding.encode_batch(["AC", "GT"])
+        assert encoding.decode(batch[0]) == "AC"
+        assert encoding.decode(batch[1]) == "GT"

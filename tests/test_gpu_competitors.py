@@ -1,0 +1,46 @@
+"""Tests for the CUDASW++/manymap throughput models (Fig. 12 series)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CUDASW_GPU_ONLY, CUDASW_HYBRID_SIMD, MANYMAP, GpuThroughputModel
+from repro.errors import ConfigurationError
+
+
+class TestGpuThroughputModel:
+    def test_single_gpu_value(self):
+        assert CUDASW_GPU_ONLY.gcups(1) == pytest.approx(70.0)
+        assert MANYMAP.gcups(1) == pytest.approx(96.5)
+
+    def test_scaling_is_monotone(self):
+        values = [CUDASW_GPU_ONLY.gcups(g) for g in range(1, 9)]
+        assert values == sorted(values)
+
+    def test_scaling_is_sublinear(self):
+        assert CUDASW_GPU_ONLY.gcups(8) < 8 * CUDASW_GPU_ONLY.gcups(1)
+
+    def test_manymap_does_not_scale(self):
+        assert MANYMAP.gcups(8) == MANYMAP.gcups(1)
+
+    def test_seconds_inverse_of_gcups(self):
+        cells = 10**12
+        t1 = CUDASW_HYBRID_SIMD.seconds(cells, gpus=1)
+        t8 = CUDASW_HYBRID_SIMD.seconds(cells, gpus=8)
+        assert t8 < t1
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MANYMAP.gcups(0)
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MANYMAP.seconds(-1, gpus=1)
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GpuThroughputModel(name="bad", single_gpu_gcups=0.0)
+        with pytest.raises(ConfigurationError):
+            GpuThroughputModel(name="bad", single_gpu_gcups=10.0, scaling_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            GpuThroughputModel(name="bad", single_gpu_gcups=10.0, max_gpus=0)

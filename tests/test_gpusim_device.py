@@ -1,0 +1,61 @@
+"""Tests for the GPU device specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim import TESLA_A100, TESLA_V100, DeviceSpec
+
+
+class TestV100Preset:
+    def test_peak_warp_gips_matches_paper(self):
+        # 80 SMs x 4 schedulers x 1.53 GHz = 489.6 warp GIPS (Section VII).
+        assert TESLA_V100.peak_warp_gips == pytest.approx(489.6)
+
+    def test_int32_ceiling_matches_paper(self):
+        assert TESLA_V100.int32_peak_warp_gips == pytest.approx(220.8)
+
+    def test_total_int32_cores(self):
+        # MAXR in Eq. (1): 80 x 4 x 16 = 5120.
+        assert TESLA_V100.total_int32_cores == 5120
+
+    def test_memory_capacities(self):
+        assert TESLA_V100.hbm_capacity_bytes == 16 * 1024**3
+        assert TESLA_V100.shared_mem_per_sm_bytes == 96 * 1024
+        assert TESLA_V100.shared_mem_per_block_max_bytes == 64 * 1024
+        assert TESLA_V100.l2_cache_bytes == 6 * 1024**2
+
+    def test_ridge_point_in_compute_bound_regime(self):
+        # 220.8 GIPS / 900 GB/s ~ 0.245 warp instructions per byte.
+        assert 0.2 < TESLA_V100.ridge_point < 0.3
+
+    def test_int32_issue_cycles(self):
+        assert TESLA_V100.int32_warp_issue_cycles == pytest.approx(2.0)
+
+
+class TestDeviceSpecValidation:
+    def test_a100_has_more_sms(self):
+        assert TESLA_A100.num_sms > TESLA_V100.num_sms
+        # Without an override the INT32 ceiling is derived from core counts.
+        assert TESLA_A100.int32_peak_warp_gips == pytest.approx(
+            TESLA_A100.peak_warp_gips * 0.5
+        )
+
+    def test_with_overrides(self):
+        doubled = TESLA_V100.with_overrides(num_sms=160)
+        assert doubled.num_sms == 160
+        assert doubled.peak_warp_gips == pytest.approx(2 * 489.6)
+        assert TESLA_V100.num_sms == 80  # original untouched (frozen dataclass)
+
+    def test_non_positive_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TESLA_V100.with_overrides(num_sms=0)
+
+    def test_threads_per_block_cannot_exceed_sm(self):
+        with pytest.raises(ConfigurationError):
+            TESLA_V100.with_overrides(max_threads_per_block=4096)
+
+    def test_block_shared_memory_cannot_exceed_sm(self):
+        with pytest.raises(ConfigurationError):
+            TESLA_V100.with_overrides(shared_mem_per_block_max_kib=128)

@@ -1,0 +1,186 @@
+"""Tests for the memory model, kernel execution model, streams and multi-GPU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ScoringScheme, random_sequence, xdrop_extend
+from repro.errors import ConfigurationError
+from repro.gpusim import (
+    BlockWorkTrace,
+    KernelExecutionModel,
+    KernelWorkload,
+    MemoryModel,
+    MultiGpuSystem,
+    TESLA_V100,
+    compose_streams,
+)
+
+
+@pytest.fixture
+def workload(rng) -> KernelWorkload:
+    blocks = []
+    for _ in range(6):
+        length = int(rng.integers(80, 160))
+        q = random_sequence(length, rng)
+        res = xdrop_extend(q, q, ScoringScheme(), xdrop=25, trace=True)
+        blocks.append(BlockWorkTrace.from_extension(res, length, length))
+    return KernelWorkload(blocks=blocks)
+
+
+class TestMemoryModel:
+    def test_footprint_and_fits(self, workload):
+        model = MemoryModel(TESLA_V100)
+        footprint = model.footprint_bytes(workload)
+        assert footprint > 0
+        assert model.fits(workload)
+
+    def test_large_replication_exceeds_capacity(self, workload):
+        model = MemoryModel(TESLA_V100)
+        huge = KernelWorkload(blocks=workload.blocks, replication=1e9)
+        assert not model.fits(huge)
+        assert model.max_blocks_per_launch(huge) < huge.total_blocks
+
+    def test_l2_residency_degrades_with_resident_blocks(self, workload):
+        model = MemoryModel(TESLA_V100)
+        few = model.l2_resident_fraction(workload, resident_blocks=80)
+        many = model.l2_resident_fraction(workload, resident_blocks=80 * 32 * 100)
+        assert few >= many
+        assert 0.0 <= many <= 1.0
+
+    def test_estimate_fields(self, workload):
+        model = MemoryModel(TESLA_V100)
+        est = model.estimate(workload, resident_blocks=2560)
+        assert est.hbm_bytes > 0
+        assert est.transfer_bytes > 0
+        assert est.footprint_bytes == model.footprint_bytes(workload)
+
+    def test_transfer_seconds(self):
+        model = MemoryModel(TESLA_V100)
+        assert model.transfer_seconds(16_000_000_000) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            model.transfer_seconds(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(TESLA_V100, bytes_per_cell_uncached=0)
+        with pytest.raises(ConfigurationError):
+            MemoryModel(TESLA_V100, sequence_read_amplification=0.5)
+
+
+class TestKernelExecutionModel:
+    def test_timing_fields_positive(self, workload):
+        model = KernelExecutionModel(TESLA_V100)
+        timing = model.execute(workload, threads_per_block=128)
+        assert timing.total_seconds > 0
+        assert timing.device_seconds > 0
+        assert timing.warp_instructions > 0
+        assert timing.cells == workload.total_cells
+        assert timing.warp_gips > 0
+        assert timing.operational_intensity > 0
+        assert 0 < timing.utilization <= 1
+        assert timing.bound in ("compute", "memory", "latency")
+
+    def test_empty_workload_rejected(self):
+        model = KernelExecutionModel(TESLA_V100)
+        with pytest.raises(ConfigurationError):
+            model.execute(KernelWorkload(), threads_per_block=128)
+
+    def test_more_work_takes_longer(self, workload):
+        model = KernelExecutionModel(TESLA_V100)
+        small = model.execute(workload, threads_per_block=128)
+        big = model.execute(
+            KernelWorkload(blocks=workload.blocks, replication=1000.0),
+            threads_per_block=128,
+        )
+        assert big.total_seconds > small.total_seconds
+        assert big.warp_instructions == pytest.approx(1000 * small.warp_instructions)
+
+    def test_few_blocks_underutilise_the_device(self, workload):
+        # A single block cannot fill 80 SMs: utilisation collapses and the
+        # per-block serial critical path is a visible fraction of the time.
+        model = KernelExecutionModel(TESLA_V100)
+        single = KernelWorkload(blocks=workload.blocks[:1])
+        timing = model.execute(single, threads_per_block=128)
+        assert timing.utilization < 0.01
+        assert timing.critical_path_seconds > 0
+        assert timing.bound in ("latency", "compute")
+
+    def test_large_batches_become_compute_bound(self, workload):
+        model = KernelExecutionModel(TESLA_V100)
+        big = KernelWorkload(blocks=workload.blocks, replication=5000.0)
+        timing = model.execute(big, threads_per_block=128)
+        assert timing.bound == "compute"
+
+    def test_gcups_improves_with_batching(self, workload):
+        # The Table I story: inter-sequence parallelism (many blocks) lifts
+        # throughput by orders of magnitude over a single alignment.
+        model = KernelExecutionModel(TESLA_V100)
+        single = model.execute(KernelWorkload(blocks=workload.blocks[:1]), 128)
+        batched = model.execute(
+            KernelWorkload(blocks=workload.blocks, replication=2000.0), 128
+        )
+        assert batched.gcups > 50 * single.gcups
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(ConfigurationError):
+            KernelExecutionModel(TESLA_V100, latency_hiding_warps=0)
+        with pytest.raises(ConfigurationError):
+            KernelExecutionModel(TESLA_V100, launch_overhead_seconds=-1)
+
+
+class TestStreams:
+    def test_compose_two_streams(self, workload):
+        model = KernelExecutionModel(TESLA_V100)
+        t1 = model.execute(workload, threads_per_block=128)
+        t2 = model.execute(workload, threads_per_block=128)
+        combined = compose_streams([t1, t2])
+        assert combined.streams == 2
+        assert combined.device_seconds == pytest.approx(
+            t1.device_seconds + t2.device_seconds
+        )
+        assert combined.cells == t1.cells + t2.cells
+        assert combined.total_seconds >= combined.device_seconds
+        assert combined.gcups > 0
+
+    def test_empty_stream_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compose_streams([])
+
+
+class TestMultiGpuSystem:
+    def test_homogeneous_constructor(self):
+        system = MultiGpuSystem.homogeneous(6)
+        assert system.num_devices == 6
+        with pytest.raises(ConfigurationError):
+            MultiGpuSystem.homogeneous(0)
+
+    def test_combine_takes_max_plus_overhead(self, workload):
+        model = KernelExecutionModel(TESLA_V100)
+        timing = compose_streams([model.execute(workload, 128)])
+        system = MultiGpuSystem.homogeneous(2, per_device_overhead_seconds=0.5)
+        combined = system.combine([timing, timing])
+        assert combined.total_seconds == pytest.approx(timing.total_seconds + 1.0)
+        assert combined.devices == 2
+        assert combined.load_imbalance == pytest.approx(1.0)
+
+    def test_combine_ignores_idle_devices(self, workload):
+        model = KernelExecutionModel(TESLA_V100)
+        timing = compose_streams([model.execute(workload, 128)])
+        system = MultiGpuSystem.homogeneous(3, per_device_overhead_seconds=0.1)
+        combined = system.combine([timing, None, None])
+        assert combined.devices == 1
+        assert combined.host_overhead_seconds == pytest.approx(0.1)
+
+    def test_combine_requires_matching_length(self, workload):
+        model = KernelExecutionModel(TESLA_V100)
+        timing = compose_streams([model.execute(workload, 128)])
+        system = MultiGpuSystem.homogeneous(2)
+        with pytest.raises(ConfigurationError):
+            system.combine([timing])
+
+    def test_all_idle_rejected(self):
+        system = MultiGpuSystem.homogeneous(2)
+        with pytest.raises(ConfigurationError):
+            system.combine([None, None])

@@ -1,0 +1,101 @@
+"""Tests for the occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, ResourceModelError
+from repro.gpusim import TESLA_V100, occupancy
+
+
+class TestOccupancyLimits:
+    def test_thread_limited(self):
+        # 1024-thread blocks: at most 2048/1024 = 2 blocks per SM.
+        occ = occupancy(TESLA_V100, threads_per_block=1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_factor == "threads"
+        assert occ.occupancy_fraction == pytest.approx(1.0)
+
+    def test_block_limited_for_tiny_blocks(self):
+        # 32-thread blocks hit the 32-blocks-per-SM architectural limit.
+        occ = occupancy(TESLA_V100, threads_per_block=32, registers_per_thread=0)
+        assert occ.blocks_per_sm == 32
+        assert occ.limiting_factor == "blocks"
+
+    def test_shared_memory_limited(self):
+        # The ablation configuration: 48 KiB of anti-diagonal buffers per
+        # block only lets 2 blocks share the SM's 96 KiB.
+        occ = occupancy(
+            TESLA_V100, threads_per_block=128, shared_mem_per_block_bytes=48 * 1024
+        )
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_factor == "shared_memory"
+
+    def test_paper_memory_placement_argument(self):
+        # Section IV-B: reserving the 64 KiB per-block maximum leaves room
+        # for only one block per SM, destroying inter-sequence parallelism;
+        # keeping only the small reduction scratch restores high occupancy.
+        hbm_design = occupancy(
+            TESLA_V100, threads_per_block=128, shared_mem_per_block_bytes=128 * 4
+        )
+        shared_design = occupancy(
+            TESLA_V100, threads_per_block=128, shared_mem_per_block_bytes=64 * 1024
+        )
+        assert shared_design.blocks_per_sm == 1
+        assert hbm_design.blocks_per_sm >= 8 * shared_design.blocks_per_sm
+
+    def test_register_limited(self):
+        occ = occupancy(TESLA_V100, threads_per_block=512, registers_per_thread=128)
+        assert occ.limiting_factor == "registers"
+        assert occ.blocks_per_sm == 1
+
+
+class TestOccupancyValidation:
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ResourceModelError):
+            occupancy(TESLA_V100, threads_per_block=2048)
+
+    def test_too_much_shared_memory_rejected(self):
+        with pytest.raises(ResourceModelError):
+            occupancy(TESLA_V100, threads_per_block=128, shared_mem_per_block_bytes=80 * 1024)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(TESLA_V100, threads_per_block=0)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            occupancy(TESLA_V100, threads_per_block=64, shared_mem_per_block_bytes=-1)
+
+    def test_impossible_register_pressure_rejected(self):
+        with pytest.raises(ResourceModelError):
+            occupancy(TESLA_V100, threads_per_block=1024, registers_per_thread=1024)
+
+
+class TestActiveWarps:
+    def test_active_warps_capped_by_scheduled(self):
+        occ = occupancy(TESLA_V100, threads_per_block=128, active_threads_per_block=40)
+        # 40 active threads -> 2 warps' worth (ceil handled as fractional floor >= 1).
+        assert occ.active_warps_per_sm <= occ.warps_per_sm
+        assert occ.active_warps_per_sm >= occ.blocks_per_sm  # at least one per block
+
+    def test_full_activity_default(self):
+        occ = occupancy(TESLA_V100, threads_per_block=256)
+        assert occ.active_warps_per_sm == pytest.approx(occ.warps_per_sm)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        threads=st.integers(min_value=32, max_value=1024),
+        active=st.integers(min_value=1, max_value=1024),
+    )
+    def test_invariants(self, threads, active):
+        occ = occupancy(
+            TESLA_V100,
+            threads_per_block=threads,
+            active_threads_per_block=min(active, threads),
+        )
+        assert 1 <= occ.blocks_per_sm <= TESLA_V100.max_blocks_per_sm
+        assert occ.blocks_per_sm * threads <= TESLA_V100.max_threads_per_sm
+        assert 0.0 < occ.occupancy_fraction <= 1.0
+        assert occ.active_warps_per_sm <= occ.warps_per_sm + 1e-9

@@ -1,0 +1,141 @@
+"""Tests for work traces and warp-level instruction accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ScoringScheme, random_sequence, xdrop_extend
+from repro.errors import ConfigurationError
+from repro.gpusim import (
+    BlockWorkTrace,
+    KernelCostParameters,
+    KernelWorkload,
+    block_instruction_count,
+    reduction_warp_instructions,
+)
+
+
+def _trace_from_pair(rng, length=120, xdrop=20) -> BlockWorkTrace:
+    q = random_sequence(length, rng)
+    t = q.copy()
+    res = xdrop_extend(q, t, ScoringScheme(), xdrop=xdrop, trace=True)
+    return BlockWorkTrace.from_extension(res, query_length=length, target_length=length)
+
+
+class TestBlockWorkTrace:
+    def test_from_extension(self, rng):
+        trace = _trace_from_pair(rng)
+        assert trace.cells == int(trace.band_widths.sum())
+        assert trace.anti_diagonals == len(trace.band_widths)
+        assert trace.max_band_width >= 1
+        assert trace.sequence_bytes == 240
+        assert trace.buffer_bytes() == 3 * 121 * 4
+
+    def test_requires_traced_result(self, rng):
+        q = random_sequence(50, rng)
+        res = xdrop_extend(q, q, ScoringScheme(), xdrop=10, trace=False)
+        with pytest.raises(ConfigurationError):
+            BlockWorkTrace.from_extension(res, 50, 50)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            BlockWorkTrace(band_widths=np.zeros((2, 2)), query_length=5, target_length=5)
+        with pytest.raises(ConfigurationError):
+            BlockWorkTrace(band_widths=np.array([1, 2]), query_length=-1, target_length=5)
+
+
+class TestKernelWorkload:
+    def test_aggregates(self, rng):
+        traces = [_trace_from_pair(rng) for _ in range(4)]
+        workload = KernelWorkload(blocks=traces)
+        assert workload.sampled_blocks == 4
+        assert workload.total_blocks == 4
+        assert workload.total_cells == sum(t.cells for t in traces)
+        assert workload.max_anti_diagonals == max(t.anti_diagonals for t in traces)
+        assert workload.mean_band_width > 0
+        assert workload.max_band_width == max(t.max_band_width for t in traces)
+
+    def test_replication_scales_totals(self, rng):
+        traces = [_trace_from_pair(rng) for _ in range(3)]
+        base = KernelWorkload(blocks=traces)
+        scaled = KernelWorkload(blocks=traces, replication=100.0)
+        assert scaled.total_blocks == 100 * base.total_blocks
+        assert scaled.total_cells == 100 * base.total_cells
+        assert scaled.mean_band_width == pytest.approx(base.mean_band_width)
+
+    def test_invalid_replication(self):
+        with pytest.raises(ConfigurationError):
+            KernelWorkload(replication=0.0)
+
+    def test_split_conserves_replication(self, rng):
+        workload = KernelWorkload(blocks=[_trace_from_pair(rng)], replication=6.0)
+        parts = workload.split([1, 1, 1])
+        assert sum(p.replication for p in parts) == pytest.approx(6.0)
+
+    def test_split_rejects_zero_weights(self, rng):
+        workload = KernelWorkload(blocks=[_trace_from_pair(rng)])
+        with pytest.raises(ConfigurationError):
+            workload.split([0, 0])
+
+
+class TestInstructionAccounting:
+    def test_reduction_cost_grows_with_threads(self):
+        params = KernelCostParameters()
+        small = reduction_warp_instructions(32, 32, params)
+        large = reduction_warp_instructions(1024, 32, params)
+        assert large > small
+        assert reduction_warp_instructions(0, 32, params) == 0.0
+
+    def test_block_instruction_count_scales_with_cells(self):
+        params = KernelCostParameters()
+        narrow = block_instruction_count(np.full(100, 16), 64, 32, params)
+        wide = block_instruction_count(np.full(100, 64), 64, 32, params)
+        assert wide[0] > narrow[0]
+
+    def test_partial_warps_still_issue_full_warp_instructions(self):
+        params = KernelCostParameters(ops_per_cell=10)
+        one_lane, _ = block_instruction_count(np.array([1]), 64, 32, params)
+        full_warp, _ = block_instruction_count(np.array([32]), 64, 32, params)
+        # One active lane costs the same warp issues as a full warp.
+        assert one_lane == pytest.approx(full_warp)
+
+    def test_segmenting_long_antidiagonals(self):
+        params = KernelCostParameters(ops_per_cell=10)
+        # 100 cells with 32 threads: 4 segments (3 full + 1 of 4 cells).
+        cells, _ = block_instruction_count(np.array([100]), 32, 32, params)
+        assert cells == pytest.approx(10 * 4)
+
+    def test_overhead_scales_with_antidiagonals(self):
+        params = KernelCostParameters()
+        _, short = block_instruction_count(np.full(10, 8), 64, 32, params)
+        _, long = block_instruction_count(np.full(1000, 8), 64, 32, params)
+        assert long == pytest.approx(100 * short)
+
+    def test_empty_trace(self):
+        assert block_instruction_count(np.array([]), 64, 32, KernelCostParameters()) == (0.0, 0.0)
+
+    def test_invalid_arguments(self):
+        params = KernelCostParameters()
+        with pytest.raises(ConfigurationError):
+            block_instruction_count(np.array([1]), 0, 32, params)
+        with pytest.raises(ConfigurationError):
+            block_instruction_count(np.array([-1]), 32, 32, params)
+        with pytest.raises(ConfigurationError):
+            KernelCostParameters(ops_per_cell=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        widths=st.lists(st.integers(min_value=1, max_value=300), min_size=1, max_size=50),
+        threads=st.sampled_from([32, 64, 128, 256, 1024]),
+    )
+    def test_instruction_count_lower_bound(self, widths, threads):
+        # Every cell costs at least ops_per_cell / warp_size warp instructions.
+        params = KernelCostParameters()
+        cells_instr, overhead = block_instruction_count(
+            np.array(widths), threads, 32, params
+        )
+        total_cells = sum(widths)
+        assert cells_instr >= params.ops_per_cell * total_cells / 32 - 1e-9
+        assert overhead > 0

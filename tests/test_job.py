@@ -1,0 +1,63 @@
+"""Tests for batch job containers (repro.core.job)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ScoringScheme, Seed, extend_seed, random_sequence
+from repro.core.job import AlignmentJob, BatchWorkSummary, summarize_results
+
+
+class TestAlignmentJob:
+    def test_encodes_string_inputs(self):
+        job = AlignmentJob(query="ACGT", target="ACGTT", seed=Seed(0, 0, 2))
+        assert job.query.dtype == np.uint8
+        assert job.query_length == 4
+        assert job.target_length == 5
+
+    def test_estimated_cells_bounded_by_full_matrix(self, rng):
+        q = random_sequence(100, rng)
+        t = random_sequence(120, rng)
+        job = AlignmentJob(query=q, target=t, seed=Seed(0, 0, 5))
+        assert job.estimated_cells(xdrop=10) <= 101 * 121
+        assert job.estimated_cells(xdrop=10_000) == 101 * 121
+
+    def test_estimated_cells_grows_with_x(self, rng):
+        q = random_sequence(500, rng)
+        job = AlignmentJob(query=q, target=q.copy(), seed=Seed(0, 0, 5))
+        assert job.estimated_cells(xdrop=10) < job.estimated_cells(xdrop=100)
+
+
+class TestBatchWorkSummary:
+    def test_merge(self):
+        a = BatchWorkSummary(alignments=1, extensions=2, cells=10, iterations=5, max_band_width=3)
+        b = BatchWorkSummary(alignments=2, extensions=4, cells=20, iterations=7, max_band_width=9)
+        merged = a.merge(b)
+        assert merged.alignments == 3
+        assert merged.cells == 30
+        assert merged.max_band_width == 9
+
+    def test_scaled(self):
+        summary = BatchWorkSummary(alignments=10, extensions=20, cells=1000, iterations=100)
+        scaled = summary.scaled(2.5)
+        assert scaled.alignments == 25
+        assert scaled.cells == 2500
+        assert scaled.max_band_width == summary.max_band_width
+
+    def test_gcups(self):
+        summary = BatchWorkSummary(cells=2_000_000_000)
+        assert summary.gcups(2.0) == pytest.approx(1.0)
+        assert summary.gcups(0.0) == float("inf")
+
+    def test_summarize_results(self, scoring, rng):
+        q = random_sequence(60, rng)
+        results = [
+            extend_seed(q, q, Seed(20, 20, 5), scoring, xdrop=10, trace=True)
+            for _ in range(3)
+        ]
+        summary = summarize_results(results)
+        assert summary.alignments == 3
+        assert summary.extensions == 6
+        assert summary.cells == sum(r.cells_computed for r in results)
+        assert summary.max_band_width >= 1

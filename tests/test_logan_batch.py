@@ -1,0 +1,163 @@
+"""Tests for the LOGAN batch aligner (kernel + host + multi-GPU model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SeqAnBatchAligner
+from repro.core import ScoringScheme
+from repro.errors import ConfigurationError
+from repro.gpusim import MultiGpuSystem
+from repro.logan import LoganAligner, run_extension_stream, prepare_batch
+from repro.logan.kernel import StreamExecution
+
+
+class TestRunExtensionStream:
+    def test_stream_execution(self, small_jobs, scoring):
+        batch = prepare_batch(small_jobs, scoring)
+        execution = run_extension_stream(batch.right_tasks, scoring, xdrop=15)
+        assert isinstance(execution, StreamExecution)
+        assert len(execution.results) == len(small_jobs)
+        assert execution.workload.sampled_blocks <= len(small_jobs)
+        assert execution.workload.total_cells > 0
+
+    def test_empty_tasks_contribute_no_blocks(self, start_seed_jobs, scoring):
+        batch = prepare_batch(start_seed_jobs, scoring)
+        execution = run_extension_stream(batch.left_tasks, scoring, xdrop=15)
+        # Seeds at position 0 make every left extension empty.
+        assert execution.workload.sampled_blocks == 0
+        assert all(r.best_score == 0 for r in execution.results)
+
+
+class TestLoganAligner:
+    def test_basic_batch(self, small_jobs):
+        aligner = LoganAligner(xdrop=20)
+        result = aligner.align_batch(small_jobs)
+        assert len(result.results) == len(small_jobs)
+        assert result.summary.alignments == len(small_jobs)
+        assert result.modeled_seconds > 0
+        assert result.host_seconds > 0
+        assert result.multi_gpu.total_seconds > 0
+        assert result.modeled_gcups > 0
+        assert result.measured_gcups() > 0
+        assert all(score > 0 for score in result.scores())
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoganAligner(xdrop=20).align_batch([])
+
+    def test_invalid_replication_rejected(self, small_jobs):
+        with pytest.raises(ConfigurationError):
+            LoganAligner(xdrop=20).align_batch(small_jobs, replication=0)
+
+    def test_negative_xdrop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoganAligner(xdrop=-1)
+
+    def test_start_seed_jobs(self, start_seed_jobs):
+        aligner = LoganAligner(xdrop=20)
+        result = aligner.align_batch(start_seed_jobs)
+        assert all(r.left.best_score == 0 for r in result.results)
+        assert all(r.query_begin == 0 for r in result.results)
+
+    def test_replication_scales_model_not_scores(self, small_jobs):
+        aligner = LoganAligner(xdrop=20)
+        base = aligner.align_batch(small_jobs, replication=1.0)
+        scaled = aligner.align_batch(small_jobs, replication=250.0)
+        assert scaled.scores() == base.scores()
+        assert scaled.modeled_seconds > base.modeled_seconds
+        # The variable part of the host time scales with replication; the
+        # fixed per-batch setup cost does not.
+        fixed = LoganAligner(xdrop=20).host_model.fixed_seconds
+        assert scaled.host_seconds - fixed == pytest.approx(
+            250 * (base.host_seconds - fixed), rel=0.01
+        )
+
+    def test_explicit_threads_override(self, small_jobs):
+        aligner = LoganAligner(xdrop=20, threads_per_block=512)
+        result = aligner.align_batch(small_jobs)
+        assert result.threads_per_block == 512
+
+    def test_invalid_explicit_threads(self, small_jobs):
+        aligner = LoganAligner(xdrop=20, threads_per_block=-1)
+        with pytest.raises(ConfigurationError):
+            aligner.align_batch(small_jobs)
+
+    def test_multi_gpu_distributes_jobs(self, small_jobs):
+        aligner = LoganAligner(system=MultiGpuSystem.homogeneous(4), xdrop=20)
+        result = aligner.align_batch(small_jobs)
+        assigned = sorted(i for a in result.assignments for i in a.job_indices)
+        assert assigned == list(range(len(small_jobs)))
+        assert len(result.per_device) >= 1
+        assert result.multi_gpu.devices >= 1
+
+    def test_multi_gpu_reduces_device_time_for_large_batches(self, small_jobs):
+        one = LoganAligner(system=MultiGpuSystem.homogeneous(1), xdrop=20)
+        six = LoganAligner(system=MultiGpuSystem.homogeneous(6), xdrop=20)
+        # The fixture pairs are tiny (a few hundred bases); a large
+        # replication factor makes the device work dominate the fixed
+        # balancer overhead, which is the regime the paper's Tables show.
+        replication = 2_000_000
+        t1 = one.align_batch(small_jobs, replication=replication)
+        t6 = six.align_batch(small_jobs, replication=replication)
+        # The per-device execution time shrinks with more GPUs...
+        assert max(t6.multi_gpu.per_device_seconds) < max(t1.multi_gpu.per_device_seconds)
+        # ...and the end-to-end modeled time improves despite the balancer overhead.
+        assert t6.modeled_seconds < t1.modeled_seconds
+
+    def test_count_policy_option(self, small_jobs):
+        aligner = LoganAligner(xdrop=20, balancer_policy="count")
+        result = aligner.align_batch(small_jobs)
+        assert len(result.results) == len(small_jobs)
+
+    def test_model_existing_matches_full_run(self, small_jobs):
+        # Re-modeling an aligned batch on the same system must reproduce the
+        # full run's modeled time without re-running any alignment.
+        aligner = LoganAligner(xdrop=25)
+        full = aligner.align_batch(small_jobs, replication=1000.0)
+        remodeled = aligner.model_existing(small_jobs, full.results, replication=1000.0)
+        assert remodeled.modeled_seconds == pytest.approx(full.modeled_seconds, rel=1e-6)
+        assert remodeled.scores() == full.scores()
+
+    def test_model_existing_on_other_system(self, small_jobs):
+        one = LoganAligner(system=MultiGpuSystem.homogeneous(1), xdrop=25)
+        six = LoganAligner(system=MultiGpuSystem.homogeneous(6), xdrop=25)
+        full1 = one.align_batch(small_jobs, replication=500_000.0)
+        remodeled6 = six.model_existing(small_jobs, full1.results, replication=500_000.0)
+        full6 = six.align_batch(small_jobs, replication=500_000.0)
+        assert remodeled6.modeled_seconds == pytest.approx(full6.modeled_seconds, rel=1e-6)
+        assert max(remodeled6.multi_gpu.per_device_seconds) < max(
+            full1.multi_gpu.per_device_seconds
+        )
+
+    def test_model_existing_validation(self, small_jobs):
+        aligner = LoganAligner(xdrop=25)
+        full = aligner.align_batch(small_jobs)
+        with pytest.raises(ConfigurationError):
+            aligner.model_existing(small_jobs, full.results[:-1])
+        with pytest.raises(ConfigurationError):
+            aligner.model_existing([], [])
+        with pytest.raises(ConfigurationError):
+            aligner.model_existing(small_jobs, full.results, replication=0)
+
+
+class TestAccuracyEquivalence:
+    """The paper's 'equivalent accuracy' claim: LOGAN == SeqAn scores."""
+
+    @pytest.mark.parametrize("xdrop", [5, 15, 50])
+    def test_scores_match_seqan_reference(self, small_jobs, xdrop):
+        logan = LoganAligner(xdrop=xdrop).align_batch(small_jobs)
+        seqan = SeqAnBatchAligner(xdrop=xdrop).align_batch(small_jobs)
+        assert logan.scores() == [r.score for r in seqan.results]
+
+    def test_extents_match_seqan_reference(self, small_jobs):
+        logan = LoganAligner(xdrop=25).align_batch(small_jobs)
+        seqan = SeqAnBatchAligner(xdrop=25).align_batch(small_jobs)
+        for a, b in zip(logan.results, seqan.results):
+            assert (a.query_begin, a.query_end) == (b.query_begin, b.query_end)
+            assert (a.target_begin, a.target_end) == (b.target_begin, b.target_end)
+
+    def test_multi_gpu_does_not_change_scores(self, small_jobs):
+        one = LoganAligner(system=MultiGpuSystem.homogeneous(1), xdrop=30)
+        eight = LoganAligner(system=MultiGpuSystem.homogeneous(8), xdrop=30)
+        assert one.align_batch(small_jobs).scores() == eight.align_batch(small_jobs).scores()

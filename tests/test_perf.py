@@ -1,0 +1,141 @@
+"""Tests for timers, metrics and the process-pool helpers."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.perf import (
+    BenchTable,
+    StageTimer,
+    Timer,
+    available_workers,
+    chunk_evenly,
+    gcups,
+    parallel_map,
+    speedup,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_accumulates_and_resets(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed > first
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+
+class TestStageTimer:
+    def test_stage_accumulation_and_fractions(self):
+        st = StageTimer()
+        with st.stage("a"):
+            time.sleep(0.005)
+        with st.stage("b"):
+            time.sleep(0.001)
+        with st.stage("a"):
+            pass
+        assert st.total >= 0.006
+        assert st.fraction("a") > st.fraction("b")
+        assert st.fraction("missing") == 0.0
+        report = st.report()
+        assert "a" in report and "total" in report
+
+    def test_empty_timer(self):
+        st = StageTimer()
+        assert st.total == 0.0
+        assert st.fraction("x") == 0.0
+
+
+class TestMetrics:
+    def test_gcups(self):
+        assert gcups(2_000_000_000, 2.0) == pytest.approx(1.0)
+        assert gcups(1, 0.0) == float("inf")
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_bench_table_round_trip(self):
+        table = BenchTable(title="Table II", parameter_name="X", columns=["seqan_s"])
+        table.add_row(10, seqan_s=5.1, logan_1gpu_s=2.2)
+        table.add_row(100, seqan_s=45.7, logan_1gpu_s=7.2)
+        assert "logan_1gpu_s" in table.columns
+        assert table.column("seqan_s") == [5.1, 45.7]
+        text = table.formatted()
+        assert "Table II" in text and "45.7" in text
+        rebuilt = BenchTable.from_json(table.to_json())
+        assert rebuilt.column("logan_1gpu_s") == [2.2, 7.2]
+        assert rebuilt.title == table.title
+
+    def test_missing_column_is_nan(self):
+        table = BenchTable(title="t", parameter_name="X", columns=["a", "b"])
+        table.add_row(1, a=1.0)
+        import math
+
+        assert math.isnan(table.column("b")[0])
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _add(x: int, offset: int) -> int:
+    return x + offset
+
+
+class TestParallelMap:
+    def test_in_process_path(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_extra_args(self):
+        assert parallel_map(_add, [1, 2, 3], args=(10,), workers=1) == [11, 12, 13]
+
+    def test_process_pool_matches_serial(self):
+        items = list(range(64))
+        serial = parallel_map(_square, items, workers=1)
+        parallel = parallel_map(_square, items, workers=2, min_items_per_worker=1)
+        assert parallel == serial
+
+    def test_small_inputs_stay_serial(self):
+        # Fewer items than workers * min_items_per_worker: no pool is used,
+        # results still correct.
+        assert parallel_map(_square, [3], workers=8) == [9]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+class TestChunking:
+    def test_chunk_evenly_sizes(self):
+        chunks = chunk_evenly(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_evenly([1, 2], 5)
+        assert sum(chunks, []) == [1, 2]
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)
+
+    def test_available_workers_respects_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "1")
+        assert available_workers(8) == 1
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "not-a-number")
+        assert available_workers(1) == 1
+        monkeypatch.delenv("REPRO_MAX_WORKERS")
+        assert available_workers(None) >= 1

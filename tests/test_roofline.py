@@ -1,0 +1,142 @@
+"""Tests for the instruction Roofline model, instrumentation and report."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ScoringScheme, random_sequence, xdrop_extend
+from repro.errors import ConfigurationError
+from repro.gpusim import (
+    BlockWorkTrace,
+    KernelExecutionModel,
+    KernelWorkload,
+    TESLA_V100,
+)
+from repro.roofline import (
+    adapted_ceiling,
+    analyze_kernel,
+    build_series,
+    render_ascii,
+    roofline_ceilings,
+)
+
+
+@pytest.fixture
+def traced_workload(rng) -> KernelWorkload:
+    blocks = []
+    for _ in range(5):
+        length = int(rng.integers(100, 200))
+        q = random_sequence(length, rng)
+        res = xdrop_extend(q, q, ScoringScheme(), xdrop=30, trace=True)
+        blocks.append(BlockWorkTrace.from_extension(res, length, length))
+    return KernelWorkload(blocks=blocks, replication=2000.0)
+
+
+class TestAdaptedCeiling:
+    def test_full_occupancy_reaches_int32_ceiling(self):
+        # Every anti-diagonal keeps all scheduled threads busy.
+        ceiling = adapted_ceiling(
+            TESLA_V100, per_iteration_ops=[128] * 100, blocks=100_000, threads_per_block=128
+        )
+        assert ceiling == pytest.approx(TESLA_V100.int32_peak_warp_gips)
+
+    def test_half_occupancy_halves_the_ceiling(self):
+        ceiling = adapted_ceiling(
+            TESLA_V100, per_iteration_ops=[64] * 100, blocks=100_000, threads_per_block=128
+        )
+        assert ceiling == pytest.approx(TESLA_V100.int32_peak_warp_gips / 2)
+
+    def test_ceiling_never_exceeds_int32_roof(self, rng):
+        ops = rng.integers(1, 5000, size=200)
+        ceiling = adapted_ceiling(TESLA_V100, ops, blocks=1000, threads_per_block=1024)
+        assert ceiling <= TESLA_V100.int32_peak_warp_gips + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            adapted_ceiling(TESLA_V100, [], blocks=10, threads_per_block=64)
+        with pytest.raises(ConfigurationError):
+            adapted_ceiling(TESLA_V100, [1, 2], blocks=0, threads_per_block=64)
+        with pytest.raises(ConfigurationError):
+            adapted_ceiling(TESLA_V100, [-1], blocks=10, threads_per_block=64)
+
+
+class TestRooflineCeilings:
+    def test_ceiling_ordering(self):
+        ceilings = roofline_ceilings(
+            TESLA_V100, per_iteration_ops=[100] * 50, blocks=10_000, threads_per_block=128
+        )
+        assert ceilings.adapted_warp_gips <= ceilings.int32_warp_gips
+        assert ceilings.int32_warp_gips < ceilings.peak_warp_gips
+        assert ceilings.ridge_point > 0
+
+    def test_roof_at(self):
+        ceilings = roofline_ceilings(
+            TESLA_V100, per_iteration_ops=[128] * 10, blocks=1000, threads_per_block=128
+        )
+        # Deep in the memory-bound region the roof is the bandwidth line.
+        assert ceilings.roof_at(0.001) == pytest.approx(0.9, rel=0.01)
+        # Far right the roof is the compute ceiling.
+        assert ceilings.roof_at(100.0) == pytest.approx(ceilings.adapted_warp_gips)
+        with pytest.raises(ConfigurationError):
+            ceilings.roof_at(-1.0)
+
+
+class TestAnalyzeKernel:
+    def test_analysis_fields(self, traced_workload):
+        model = KernelExecutionModel(TESLA_V100)
+        timing = model.execute(traced_workload, threads_per_block=64)
+        analysis = analyze_kernel(TESLA_V100, timing, traced_workload, label="X=30")
+        assert analysis.point.operational_intensity > 0
+        assert analysis.point.warp_gips > 0
+        assert analysis.point.label == "X=30"
+        assert analysis.attainable_gips > 0
+        assert 0 <= analysis.efficiency <= 1.5
+
+    def test_paper_claim_compute_bound_and_near_ceiling(self, traced_workload):
+        # Fig. 13: the batched kernel is compute bound (OI right of the
+        # ridge) and lands close to the adapted ceiling.
+        model = KernelExecutionModel(TESLA_V100)
+        timing = model.execute(traced_workload, threads_per_block=64)
+        analysis = analyze_kernel(TESLA_V100, timing, traced_workload)
+        assert analysis.is_compute_bound
+        assert analysis.efficiency > 0.4
+
+    def test_empty_workload_rejected(self):
+        model = KernelExecutionModel(TESLA_V100)
+        with pytest.raises(ConfigurationError):
+            analyze_kernel(TESLA_V100, None, KernelWorkload())  # type: ignore[arg-type]
+
+
+class TestRooflineReport:
+    def test_series_and_json(self, traced_workload):
+        model = KernelExecutionModel(TESLA_V100)
+        timing = model.execute(traced_workload, threads_per_block=64)
+        analysis = analyze_kernel(TESLA_V100, timing, traced_workload)
+        series = build_series(analysis)
+        assert len(series.operational_intensity) == len(series.int32_roof)
+        assert max(series.int32_roof) <= TESLA_V100.int32_peak_warp_gips + 1e-9
+        payload = json.loads(series.to_json())
+        assert payload["point_label"] == "LOGAN"
+
+    def test_series_validation(self, traced_workload):
+        model = KernelExecutionModel(TESLA_V100)
+        timing = model.execute(traced_workload, threads_per_block=64)
+        analysis = analyze_kernel(TESLA_V100, timing, traced_workload)
+        with pytest.raises(ConfigurationError):
+            build_series(analysis, oi_min=10, oi_max=1)
+        with pytest.raises(ConfigurationError):
+            build_series(analysis, samples=1)
+
+    def test_ascii_rendering(self, traced_workload):
+        model = KernelExecutionModel(TESLA_V100)
+        timing = model.execute(traced_workload, threads_per_block=64)
+        analysis = analyze_kernel(TESLA_V100, timing, traced_workload)
+        art = render_ascii(build_series(analysis))
+        assert "*" in art
+        assert "=" in art
+        assert "warp GIPS" in art
+        with pytest.raises(ConfigurationError):
+            render_ascii(build_series(analysis), width=5, height=5)

@@ -1,0 +1,104 @@
+"""Tests for repro.core.scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import AffineScoringScheme, ScoringScheme, encode
+from repro.core.scoring import BLAST_SCORING, DEFAULT_SCORING, MINIMAP2_SCORING
+from repro.errors import ConfigurationError
+
+
+class TestScoringSchemeValidation:
+    def test_default_values(self):
+        assert DEFAULT_SCORING.as_tuple() == (1, -1, -1)
+
+    def test_blast_preset(self):
+        assert BLAST_SCORING.mismatch == -2
+
+    @pytest.mark.parametrize("match", [0, -1])
+    def test_non_positive_match_rejected(self, match):
+        with pytest.raises(ConfigurationError):
+            ScoringScheme(match=match)
+
+    def test_positive_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScoringScheme(mismatch=1)
+
+    @pytest.mark.parametrize("gap", [0, 1])
+    def test_non_negative_gap_rejected(self, gap):
+        with pytest.raises(ConfigurationError):
+            ScoringScheme(gap=gap)
+
+
+class TestSubstitution:
+    def test_vectorised_matches_and_mismatches(self, scoring):
+        a = encode("ACGT")
+        b = encode("AGGT")
+        np.testing.assert_array_equal(
+            scoring.substitution(a, b), np.array([1, -1, 1, 1])
+        )
+
+    def test_wildcard_never_matches(self, scoring):
+        a = encode("NN")
+        b = encode("NN")
+        assert (scoring.substitution(a, b) == scoring.mismatch).all()
+
+    def test_scalar_matches_vector(self, scoring):
+        a = encode("ACGTN")
+        b = encode("AAGTN")
+        vector = scoring.substitution(a, b)
+        scalars = [scoring.substitution_scalar(int(x), int(y)) for x, y in zip(a, b)]
+        np.testing.assert_array_equal(vector, scalars)
+
+
+class TestWorstCaseDrop:
+    @given(st.integers(min_value=0, max_value=500))
+    def test_monotone_in_length(self, length):
+        s = ScoringScheme()
+        assert s.worst_case_drop(length + 1) >= s.worst_case_drop(length)
+
+    def test_formula(self):
+        s = ScoringScheme(match=2, mismatch=-3, gap=-1)
+        assert s.worst_case_drop(10) == 2 * 2 * 10 + 2 - (-3)
+
+    def test_zero_length(self):
+        s = ScoringScheme()
+        assert s.worst_case_drop(0) == s.match - s.mismatch
+
+
+class TestAffineScoringScheme:
+    def test_defaults_match_minimap2(self):
+        assert MINIMAP2_SCORING.match == 2
+        assert MINIMAP2_SCORING.gap_open == 4
+        assert MINIMAP2_SCORING.gap_extend == 2
+
+    def test_gap_cost(self):
+        assert MINIMAP2_SCORING.gap_cost(0) == 0
+        assert MINIMAP2_SCORING.gap_cost(3) == 4 + 3 * 2
+
+    def test_invalid_gap_extend(self):
+        with pytest.raises(ConfigurationError):
+            AffineScoringScheme(gap_extend=0)
+
+    def test_invalid_gap_open(self):
+        with pytest.raises(ConfigurationError):
+            AffineScoringScheme(gap_open=-1)
+
+    def test_invalid_match(self):
+        with pytest.raises(ConfigurationError):
+            AffineScoringScheme(match=0)
+
+    def test_as_linear(self):
+        linear = MINIMAP2_SCORING.as_linear()
+        assert linear.match == MINIMAP2_SCORING.match
+        assert linear.gap == -(MINIMAP2_SCORING.gap_open + MINIMAP2_SCORING.gap_extend)
+
+    def test_substitution_vectorised(self):
+        a = encode("AC")
+        b = encode("AG")
+        np.testing.assert_array_equal(
+            MINIMAP2_SCORING.substitution(a, b), np.array([2, -4])
+        )

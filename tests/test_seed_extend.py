@@ -1,0 +1,133 @@
+"""Tests for seed-and-extend alignment (repro.core.seed_extend)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ScoringScheme,
+    Seed,
+    encode,
+    extend_seed,
+    random_sequence,
+    seed_score,
+    split_on_seed,
+)
+from repro.core.xdrop import xdrop_extend_reference
+from repro.errors import AlignmentError
+
+
+class TestSeed:
+    def test_properties(self):
+        seed = Seed(query_pos=10, target_pos=20, length=17)
+        assert seed.query_end == 27
+        assert seed.target_end == 37
+        assert seed.diagonal() == -10
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(AlignmentError):
+            Seed(0, 0, 0)
+
+    def test_negative_positions_rejected(self):
+        with pytest.raises(AlignmentError):
+            Seed(-1, 0, 5)
+
+
+class TestSplitOnSeed:
+    def test_middle_seed_split(self):
+        q = encode("AAAACGTTTT")
+        t = encode("CCCACGTGGG")
+        seed = Seed(query_pos=4, target_pos=3, length=3)
+        (lq, lt), (rq, rt) = split_on_seed(q, t, seed)
+        # Left parts are reversed.
+        assert list(lq) == list(q[:4][::-1])
+        assert list(lt) == list(t[:3][::-1])
+        assert list(rq) == list(q[7:])
+        assert list(rt) == list(t[6:])
+
+    def test_seed_at_start_gives_empty_left(self):
+        q = encode("ACGTACGT")
+        (lq, lt), (rq, rt) = split_on_seed(q, q, Seed(0, 0, 4))
+        assert len(lq) == 0 and len(lt) == 0
+        assert len(rq) == 4
+
+    def test_seed_at_end_gives_empty_right(self):
+        q = encode("ACGTACGT")
+        (lq, lt), (rq, rt) = split_on_seed(q, q, Seed(4, 4, 4))
+        assert len(rq) == 0 and len(rt) == 0
+        assert len(lq) == 4
+
+    def test_out_of_bounds_seed_rejected(self):
+        q = encode("ACGT")
+        with pytest.raises(AlignmentError):
+            split_on_seed(q, q, Seed(2, 2, 4))
+
+
+class TestSeedScore:
+    def test_exact_seed(self, scoring):
+        q = encode("AAACGTAAA")
+        assert seed_score(q, q, Seed(3, 3, 3), scoring) == 3 * scoring.match
+
+    def test_inexact_anchor_penalised(self, scoring):
+        q = encode("AAACGTAAA")
+        t = encode("AAACCTAAA")
+        assert seed_score(q, t, Seed(3, 3, 3), scoring) == 2 * scoring.match + scoring.mismatch
+
+
+class TestExtendSeed:
+    def test_identical_sequences_full_score(self, scoring):
+        seq = "ACGTACGTACGTACGT"
+        res = extend_seed(seq, seq, Seed(6, 6, 4), scoring, xdrop=20)
+        assert res.score == len(seq) * scoring.match
+        assert res.query_begin == 0
+        assert res.query_end == len(seq)
+        assert res.target_begin == 0
+        assert res.target_end == len(seq)
+
+    def test_seed_at_start(self, scoring):
+        seq = "ACGTACGTACGT"
+        res = extend_seed(seq, seq, Seed(0, 0, 4), scoring, xdrop=20)
+        assert res.score == len(seq)
+        assert res.left.cells_computed == 1  # trivial empty extension
+
+    def test_seed_at_end(self, scoring):
+        seq = "ACGTACGTACGT"
+        res = extend_seed(seq, seq, Seed(8, 8, 4), scoring, xdrop=20)
+        assert res.score == len(seq)
+        assert res.right.cells_computed == 1
+
+    def test_score_decomposition(self, scoring, rng):
+        q = random_sequence(80, rng)
+        t = q.copy()
+        t[60] = (t[60] + 1) % 4
+        seed = Seed(30, 30, 10)
+        res = extend_seed(q, t, seed, scoring, xdrop=30)
+        assert res.score == res.left.best_score + res.right.best_score + res.seed_score
+
+    def test_spans_and_overlap_length(self, scoring):
+        seq = "ACGTACGTACGTACGT"
+        res = extend_seed(seq, seq, Seed(6, 6, 4), scoring, xdrop=20)
+        assert res.query_span == len(seq)
+        assert res.target_span == len(seq)
+        assert res.overlap_length == len(seq)
+        assert res.cells_computed == res.left.cells_computed + res.right.cells_computed
+
+    def test_custom_kernel_injection(self, scoring, rng):
+        q = random_sequence(60, rng)
+        t = q.copy()
+        default = extend_seed(q, t, Seed(20, 20, 8), scoring, xdrop=15)
+        reference = extend_seed(
+            q, t, Seed(20, 20, 8), scoring, xdrop=15, kernel=xdrop_extend_reference
+        )
+        assert default.score == reference.score
+
+    def test_divergent_pair_scores_near_seed_only(self, scoring, rng):
+        q = random_sequence(200, rng)
+        t = random_sequence(200, rng)
+        kmer = q[90:100].copy()
+        t[90:100] = kmer
+        res = extend_seed(q, t, Seed(90, 90, 10), scoring, xdrop=5)
+        # Extensions on unrelated flanks contribute little beyond the seed.
+        assert res.score < 10 + 2 * 10
+        assert res.score >= 10

@@ -1,0 +1,165 @@
+"""Tests for the scalar X-drop reference and the exact-extension oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ScoringScheme,
+    exact_extension_score,
+    random_sequence,
+    xdrop_extend_reference,
+)
+from repro.errors import ConfigurationError
+
+
+class TestXdropReferenceBasics:
+    def test_identical_sequences_score_full_length(self, scoring):
+        seq = "ACGTACGTACGT"
+        res = xdrop_extend_reference(seq, seq, scoring, xdrop=10)
+        assert res.best_score == len(seq)
+        assert res.query_end == len(seq)
+        assert res.target_end == len(seq)
+        assert not res.terminated_early
+
+    def test_single_base_match(self, scoring):
+        res = xdrop_extend_reference("A", "A", scoring, xdrop=5)
+        assert res.best_score == 1
+
+    def test_single_base_mismatch(self, scoring):
+        res = xdrop_extend_reference("A", "C", scoring, xdrop=5)
+        assert res.best_score == 0
+
+    def test_completely_different_sequences_terminate_early(self, scoring):
+        res = xdrop_extend_reference("A" * 50, "C" * 50, scoring, xdrop=3)
+        assert res.best_score == 0
+        assert res.terminated_early
+        # Early termination explores far fewer cells than the full matrix.
+        assert res.cells_computed < 51 * 51 / 4
+
+    def test_xdrop_zero_prunes_aggressively(self, scoring):
+        # With X = 0, the two gap cells of the first anti-diagonal already
+        # drop below the running best (0), the band empties and the
+        # extension stops at the origin — the most aggressive pruning the
+        # heuristic allows (Zhang et al. semantics).
+        res = xdrop_extend_reference("ACGT", "ACGT", scoring, xdrop=0)
+        assert res.best_score == 0
+        assert res.terminated_early
+        # With X = 2 the diagonal survives and the full match is recovered.
+        assert xdrop_extend_reference("ACGT", "ACGT", scoring, xdrop=2).best_score == 4
+
+    def test_negative_xdrop_rejected(self, scoring):
+        with pytest.raises(ConfigurationError):
+            xdrop_extend_reference("ACGT", "ACGT", scoring, xdrop=-1)
+
+    def test_prefix_extension_semantics(self, scoring):
+        # Best alignment uses only a prefix: long poly-A head then garbage.
+        query = "AAAAAAAAAA" + "CCCC"
+        target = "AAAAAAAAAA" + "GGGG"
+        res = xdrop_extend_reference(query, target, scoring, xdrop=2)
+        assert res.best_score == 10
+        assert res.query_end == 10
+        assert res.target_end == 10
+
+    def test_trace_records_band_widths(self, scoring):
+        res = xdrop_extend_reference("ACGTACGT", "ACGTACGT", scoring, xdrop=5, trace=True)
+        assert res.band_widths is not None
+        assert len(res.band_widths) == res.anti_diagonals
+        assert res.band_widths.sum() == res.cells_computed
+        assert res.band_widths[0] == 1
+
+    def test_no_trace_by_default(self, scoring):
+        res = xdrop_extend_reference("ACGT", "ACGT", scoring, xdrop=5)
+        assert res.band_widths is None
+
+    def test_gap_handling(self, scoring):
+        # target has one extra base in the middle: score = matches - gap.
+        query = "ACGTACGT"
+        target = "ACGTTACGT"
+        res = xdrop_extend_reference(query, target, scoring, xdrop=20)
+        assert res.best_score == 8 - 1
+
+    def test_asymmetric_lengths(self, scoring):
+        res = xdrop_extend_reference("ACG", "ACGTACGTACGT", scoring, xdrop=10)
+        assert res.best_score == 3
+
+    def test_cells_bounded_by_full_matrix(self, scoring, rng):
+        q = random_sequence(40, rng)
+        t = random_sequence(60, rng)
+        res = xdrop_extend_reference(q, t, scoring, xdrop=5)
+        assert res.cells_computed <= (40 + 1) * (60 + 1)
+
+
+class TestExactExtensionOracle:
+    def test_identical(self, scoring):
+        res = exact_extension_score("ACGTACGT", "ACGTACGT", scoring)
+        assert res.best_score == 8
+        assert res.cells_computed == 9 * 9
+
+    def test_empty_extension_is_zero(self, scoring):
+        assert exact_extension_score("AAAA", "CCCC", scoring).best_score == 0
+
+    def test_brute_force_equivalence_small(self, scoring, rng):
+        # Compare against a plain O(mn) Python DP on tiny inputs.
+        for _ in range(20):
+            m, n = int(rng.integers(1, 15)), int(rng.integers(1, 15))
+            q = random_sequence(m, rng)
+            t = random_sequence(n, rng)
+            H = [[0] * (n + 1) for _ in range(m + 1)]
+            for i in range(m + 1):
+                H[i][0] = i * scoring.gap
+            for j in range(n + 1):
+                H[0][j] = j * scoring.gap
+            best = 0
+            for i in range(1, m + 1):
+                for j in range(1, n + 1):
+                    s = scoring.match if q[i - 1] == t[j - 1] else scoring.mismatch
+                    H[i][j] = max(
+                        H[i - 1][j - 1] + s,
+                        H[i - 1][j] + scoring.gap,
+                        H[i][j - 1] + scoring.gap,
+                    )
+                    best = max(best, H[i][j])
+            assert exact_extension_score(q, t, scoring).best_score == best
+
+    def test_never_negative(self, scoring, rng):
+        q = random_sequence(30, rng)
+        t = random_sequence(30, rng)
+        assert exact_extension_score(q, t, scoring).best_score >= 0
+
+
+class TestXdropAgainstOracle:
+    @pytest.mark.parametrize("xdrop", [0, 1, 3, 10, 50])
+    def test_never_exceeds_exact(self, scoring, rng, xdrop):
+        for _ in range(10):
+            q = random_sequence(int(rng.integers(5, 80)), rng)
+            t = random_sequence(int(rng.integers(5, 80)), rng)
+            heuristic = xdrop_extend_reference(q, t, scoring, xdrop=xdrop)
+            exact = exact_extension_score(q, t, scoring)
+            assert heuristic.best_score <= exact.best_score
+
+    def test_large_x_recovers_exact_score(self, scoring, rng):
+        for _ in range(10):
+            q = random_sequence(int(rng.integers(5, 60)), rng)
+            t = random_sequence(int(rng.integers(5, 60)), rng)
+            big_x = scoring.worst_case_drop(min(len(q), len(t)))
+            heuristic = xdrop_extend_reference(q, t, scoring, xdrop=big_x)
+            exact = exact_extension_score(q, t, scoring)
+            assert heuristic.best_score == exact.best_score
+
+    def test_score_monotone_in_x(self, scoring, similar_pair):
+        q, t = similar_pair
+        scores = [
+            xdrop_extend_reference(q, t, scoring, xdrop=x).best_score
+            for x in (0, 2, 5, 10, 25, 50, 100)
+        ]
+        assert scores == sorted(scores)
+
+    def test_cells_monotone_in_x(self, scoring, similar_pair):
+        q, t = similar_pair
+        cells = [
+            xdrop_extend_reference(q, t, scoring, xdrop=x).cells_computed
+            for x in (0, 2, 5, 10, 25, 50)
+        ]
+        assert cells == sorted(cells)

@@ -1,0 +1,160 @@
+"""Tests for the vectorised X-drop kernel, including equivalence with the
+scalar reference (the library's central correctness invariant)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ScoringScheme,
+    exact_extension_score,
+    random_sequence,
+    xdrop_extend,
+    xdrop_extend_reference,
+)
+from repro.core.xdrop_vectorized import XDropKernelState
+from repro.errors import ConfigurationError
+
+SEQ = st.text(alphabet="ACGT", min_size=1, max_size=60)
+SCHEMES = st.sampled_from(
+    [ScoringScheme(1, -1, -1), ScoringScheme(2, -3, -2), ScoringScheme(1, -2, -3)]
+)
+
+
+def _fingerprint(result):
+    return (
+        result.best_score,
+        result.query_end,
+        result.target_end,
+        result.cells_computed,
+        result.anti_diagonals,
+        result.terminated_early,
+    )
+
+
+class TestVectorizedBasics:
+    def test_identical_sequences(self, scoring):
+        res = xdrop_extend("ACGTACGTAC", "ACGTACGTAC", scoring, xdrop=10)
+        assert res.best_score == 10
+
+    def test_negative_xdrop_rejected(self, scoring):
+        with pytest.raises(ConfigurationError):
+            xdrop_extend("ACGT", "ACGT", scoring, xdrop=-2)
+
+    def test_trace_consistency(self, scoring, similar_pair):
+        q, t = similar_pair
+        res = xdrop_extend(q, t, scoring, xdrop=20, trace=True)
+        assert res.band_widths is not None
+        assert int(res.band_widths.sum()) == res.cells_computed
+        assert len(res.band_widths) == res.anti_diagonals
+
+    def test_accepts_strings_and_arrays(self, scoring):
+        a = xdrop_extend("ACGTACGT", "ACGTACGT", scoring, xdrop=5)
+        b = xdrop_extend(
+            np.frombuffer(b"\x00\x01\x02\x03\x00\x01\x02\x03", dtype=np.uint8),
+            np.frombuffer(b"\x00\x01\x02\x03\x00\x01\x02\x03", dtype=np.uint8),
+            scoring,
+            xdrop=5,
+        )
+        assert a.best_score == b.best_score == 8
+
+
+class TestStateReuse:
+    def test_state_reuse_gives_same_results(self, scoring, rng):
+        state = XDropKernelState(64)
+        pairs = [
+            (random_sequence(50, rng), random_sequence(50, rng)) for _ in range(10)
+        ]
+        with_state = [
+            xdrop_extend(q, t, scoring, xdrop=10, state=state).best_score
+            for q, t in pairs
+        ]
+        without_state = [
+            xdrop_extend(q, t, scoring, xdrop=10).best_score for q, t in pairs
+        ]
+        assert with_state == without_state
+
+    def test_state_grows_capacity(self, scoring, rng):
+        state = XDropKernelState(8)
+        q = random_sequence(100, rng)
+        res = xdrop_extend(q, q, scoring, xdrop=10, state=state)
+        assert res.best_score == 100
+        assert state.capacity >= 100
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            XDropKernelState(0)
+
+
+class TestEquivalenceWithReference:
+    @pytest.mark.parametrize("xdrop", [0, 1, 5, 15, 40, 200])
+    def test_random_pairs(self, scoring, rng, xdrop):
+        for _ in range(15):
+            q = random_sequence(int(rng.integers(1, 90)), rng)
+            t = random_sequence(int(rng.integers(1, 90)), rng)
+            assert _fingerprint(xdrop_extend(q, t, scoring, xdrop)) == _fingerprint(
+                xdrop_extend_reference(q, t, scoring, xdrop)
+            )
+
+    def test_similar_pairs(self, scoring, similar_pair):
+        q, t = similar_pair
+        for xdrop in (5, 20, 60):
+            assert _fingerprint(xdrop_extend(q, t, scoring, xdrop)) == _fingerprint(
+                xdrop_extend_reference(q, t, scoring, xdrop)
+            )
+
+    def test_divergent_pairs(self, scoring, divergent_pair):
+        q, t = divergent_pair
+        for xdrop in (3, 10, 30):
+            assert _fingerprint(xdrop_extend(q, t, scoring, xdrop)) == _fingerprint(
+                xdrop_extend_reference(q, t, scoring, xdrop)
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(q=SEQ, t=SEQ, xdrop=st.integers(min_value=0, max_value=60), scheme=SCHEMES)
+    def test_property_equivalence(self, q, t, xdrop, scheme):
+        assert _fingerprint(xdrop_extend(q, t, scheme, xdrop)) == _fingerprint(
+            xdrop_extend_reference(q, t, scheme, xdrop)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(q=SEQ, t=SEQ, scheme=SCHEMES)
+    def test_property_large_x_is_exact(self, q, t, scheme):
+        big_x = scheme.worst_case_drop(min(len(q), len(t)))
+        assert (
+            xdrop_extend(q, t, scheme, big_x).best_score
+            == exact_extension_score(q, t, scheme).best_score
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(q=SEQ, t=SEQ, xdrop=st.integers(min_value=0, max_value=40), scheme=SCHEMES)
+    def test_property_never_exceeds_exact(self, q, t, xdrop, scheme):
+        assert (
+            xdrop_extend(q, t, scheme, xdrop).best_score
+            <= exact_extension_score(q, t, scheme).best_score
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(q=SEQ, scheme=SCHEMES)
+    def test_property_self_alignment_is_perfect(self, q, scheme):
+        # Aligning a sequence against itself with a sufficiently large X must
+        # recover the full-length match score.
+        res = xdrop_extend(q, q, scheme, xdrop=scheme.worst_case_drop(len(q)))
+        assert res.best_score == scheme.match * len(q)
+        assert res.query_end == len(q)
+
+
+class TestWorkAccounting:
+    def test_gcups_helper(self, scoring, similar_pair):
+        q, t = similar_pair
+        res = xdrop_extend(q, t, scoring, xdrop=20)
+        assert res.gcups(1.0) == pytest.approx(res.cells_computed / 1e9)
+        assert res.gcups(0.0) == float("inf")
+
+    def test_small_x_explores_fewer_cells(self, scoring, similar_pair):
+        q, t = similar_pair
+        narrow = xdrop_extend(q, t, scoring, xdrop=5)
+        wide = xdrop_extend(q, t, scoring, xdrop=100)
+        assert narrow.cells_computed < wide.cells_computed
