@@ -14,7 +14,6 @@ from __future__ import annotations
 
 def test_table2_logan_vs_seqan(run_experiment):
     table = run_experiment("table2")
-    xs = [row.parameter for row in table.rows]
     seqan = table.column("seqan_168t_s")
     logan1 = table.column("logan_1gpu_s")
     logan6 = table.column("logan_6gpu_s")

@@ -17,7 +17,16 @@ import time
 
 import numpy as np
 
-from repro import ScoringScheme, Seed, exact_extension_score, extend_seed, xdrop_extend
+from repro import (
+    ScoringScheme,
+    Seed,
+    exact_extension_score,
+    extend_seed,
+    get_engine,
+    list_engines,
+    xdrop_extend,
+)
+from repro.core.job import AlignmentJob
 from repro.data import ErrorModel, apply_errors
 
 
@@ -70,6 +79,26 @@ def main() -> None:
           f"right {alignment.right.best_score})")
     print(f"  query span  [{alignment.query_begin}, {alignment.query_end})")
     print(f"  target span [{alignment.target_begin}, {alignment.target_end})")
+
+    # --- 4. Batch alignment through the engine registry. -------------------
+    # Every batch aligner is available behind one interface; the "batched"
+    # engine packs all jobs into padded arrays and sweeps their
+    # anti-diagonals together (LOGAN's inter-sequence parallelism).
+    jobs = [
+        AlignmentJob(query=query, target=target, seed=seed, pair_id=i)
+        for i in range(32)
+    ]
+    print()
+    print(f"available engines: {', '.join(list_engines())}")
+    print(f"{'engine':>12s} {'seconds':>9s} {'GCUPS':>8s}")
+    for name in ("reference", "vectorized", "batched"):
+        engine = get_engine(name, scoring=scoring, xdrop=100)
+        batch = engine.align_batch(jobs)
+        assert len(set(batch.scores())) == 1  # identical jobs, identical scores
+        print(
+            f"{name:>12s} {batch.elapsed_seconds:>8.3f}s "
+            f"{batch.measured_gcups():>8.4f}"
+        )
 
 
 if __name__ == "__main__":

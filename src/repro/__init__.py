@@ -4,8 +4,13 @@ LOGAN is the first high-performance multi-GPU implementation of the X-drop
 pairwise-alignment heuristic.  This package re-implements the full system in
 pure Python/NumPy:
 
-* :mod:`repro.core` — the X-drop extension algorithm (scalar reference and
-  vectorised kernel), scoring schemes, seed-and-extend;
+* :mod:`repro.core` — the X-drop extension algorithm (scalar reference,
+  per-pair vectorised kernel and inter-sequence batched kernel), scoring
+  schemes, seed-and-extend;
+* :mod:`repro.engine` — the unified alignment-engine layer: a registry that
+  exposes every batch aligner behind one
+  ``align_batch(jobs, scoring, xdrop)`` interface
+  (:func:`repro.get_engine`, :func:`repro.list_engines`);
 * :mod:`repro.baselines` — Smith–Waterman, Needleman–Wunsch, banded SW,
   ksw2-style Z-drop, SeqAn-like CPU batch runner, CUDASW++/manymap
   throughput models;
@@ -28,6 +33,12 @@ Quickstart
 >>> res = xdrop_extend("ACGTACGTTT", "ACGTACGTAA", ScoringScheme(), xdrop=10)
 >>> res.best_score
 8
+
+Batch alignment goes through the engine registry:
+
+>>> from repro import get_engine, list_engines
+>>> sorted(list_engines())[:3]
+['batched', 'ksw2', 'logan']
 """
 
 from __future__ import annotations
@@ -46,8 +57,10 @@ from .core import (
     random_sequence,
     reverse_complement,
     xdrop_extend,
+    xdrop_extend_batch,
     xdrop_extend_reference,
 )
+from .engine import get_engine, list_engines, register_engine
 
 __version__ = "1.0.0"
 
@@ -64,7 +77,11 @@ __all__ = [
     "random_sequence",
     "reverse_complement",
     "xdrop_extend",
+    "xdrop_extend_batch",
     "xdrop_extend_reference",
     "exact_extension_score",
     "extend_seed",
+    "get_engine",
+    "list_engines",
+    "register_engine",
 ]

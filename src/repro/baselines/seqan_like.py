@@ -17,7 +17,7 @@ recurrence — which reproduces the paper's "equivalent accuracy" claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.job import AlignmentJob, BatchWorkSummary, summarize_results

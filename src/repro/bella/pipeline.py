@@ -23,7 +23,7 @@ check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -112,9 +112,9 @@ class BellaPipeline:
     Parameters
     ----------
     aligner:
-        Any object implementing ``align_batch(jobs)`` (default: a
-        single-process :class:`SeqAnBatchAligner` built lazily to avoid a
-        circular import at module load).
+        Any object implementing ``align_batch(jobs)``.  Mutually exclusive
+        with *engine*; when neither is given the pipeline resolves the
+        default ``"seqan"`` engine from the registry.
     k:
         k-mer length (BELLA default 17).
     reliable_lower, reliable_upper:
@@ -132,6 +132,15 @@ class BellaPipeline:
         Assumed per-read error rate (drives the default threshold).
     min_overlap:
         Minimum estimated overlap length to accept.
+    engine:
+        Name of a registered alignment engine (see
+        :func:`repro.engine.list_engines`) or an
+        :class:`~repro.engine.AlignmentEngine` instance.  Named engines are
+        built lazily with the pipeline's *scoring* and *xdrop*.
+    xdrop:
+        X-drop threshold handed to engines built by name (ignored when an
+        *aligner* instance or engine instance is supplied — those carry
+        their own threshold).
     """
 
     def __init__(
@@ -146,28 +155,40 @@ class BellaPipeline:
         threshold: AdaptiveThreshold | None = None,
         error_rate: float = 0.15,
         min_overlap: int = 500,
+        engine: str | BatchAlignerProtocol | None = None,
+        xdrop: int = 100,
     ) -> None:
         if k <= 0:
             raise ConfigurationError("k must be positive")
+        if aligner is not None and engine is not None:
+            raise ConfigurationError(
+                "pass either an aligner instance or an engine, not both"
+            )
         self.k = int(k)
         self.reliable_lower = int(reliable_lower)
         self.reliable_upper = reliable_upper
         self.min_shared_kmers = int(min_shared_kmers)
         self.bin_width = int(bin_width)
         self.scoring = scoring
+        self.xdrop = int(xdrop)
         self.threshold = threshold or AdaptiveThreshold(
             error_rate=error_rate, scoring=scoring, min_overlap=min_overlap
         )
         self._aligner = aligner
+        self._engine = engine
 
     # ------------------------------------------------------------------ #
     @property
     def aligner(self) -> BatchAlignerProtocol:
-        """The alignment kernel in use (defaults to the SeqAn-like CPU kernel)."""
+        """The alignment kernel in use (default: the ``"seqan"`` engine)."""
         if self._aligner is None:
-            from ..baselines.seqan_like import SeqAnBatchAligner
+            # Deferred import: repro.engine pulls in every aligner layer.
+            from ..engine import get_engine
 
-            self._aligner = SeqAnBatchAligner(scoring=self.scoring)
+            engine = self._engine if self._engine is not None else "seqan"
+            if isinstance(engine, str):
+                engine = get_engine(engine, scoring=self.scoring, xdrop=self.xdrop)
+            self._aligner = engine
         return self._aligner
 
     # ------------------------------------------------------------------ #

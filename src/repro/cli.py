@@ -30,10 +30,19 @@ from .bella import BellaPipeline
 from .core import ScoringScheme, Seed, encode
 from .core.job import AlignmentJob
 from .data import PairSetSpec, generate_pair_set, load_dataset, read_fasta
+from .engine import get_engine, list_engines
 from .gpusim import MultiGpuSystem
 from .logan import LoganAligner
 
 __all__ = ["main_align", "main_bella", "main_bench"]
+
+
+def _build_engine(name: str, scoring: ScoringScheme, args: argparse.Namespace):
+    """Instantiate a registry engine from shared CLI arguments."""
+    options = {"scoring": scoring, "xdrop": args.xdrop, "workers": args.workers}
+    if name == "logan":
+        options["system"] = MultiGpuSystem.homogeneous(getattr(args, "gpus", 1))
+    return get_engine(name, **options)
 
 
 def _scoring_from_args(args: argparse.Namespace) -> ScoringScheme:
@@ -70,6 +79,12 @@ def main_align(argv: Sequence[str] | None = None) -> int:
         type=int,
         default=None,
         help="model a workload of this many pairs using the generated sample",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=list_engines(),
+        default="logan",
+        help="alignment engine from the registry (default: logan)",
     )
     parser.add_argument(
         "--baseline",
@@ -112,36 +127,61 @@ def main_align(argv: Sequence[str] | None = None) -> int:
     if args.replicate_to:
         replication = max(1.0, args.replicate_to / len(jobs))
 
-    aligner = LoganAligner(
-        system=MultiGpuSystem.homogeneous(args.gpus),
-        scoring=scoring,
-        xdrop=args.xdrop,
-        workers=args.workers,
-    )
-    result = aligner.align_batch(jobs, replication=replication)
-
-    payload = {
-        "pairs": len(jobs),
-        "replication": replication,
-        "xdrop": args.xdrop,
-        "gpus": args.gpus,
-        "threads_per_block": result.threads_per_block,
-        "measured_seconds": result.elapsed_seconds,
-        "measured_gcups": result.measured_gcups(),
-        "modeled_seconds": result.modeled_seconds,
-        "modeled_gcups": result.modeled_gcups,
-        "mean_score": float(np.mean(result.scores())),
-    }
+    if args.engine == "logan":
+        aligner = LoganAligner(
+            system=MultiGpuSystem.homogeneous(args.gpus),
+            scoring=scoring,
+            xdrop=args.xdrop,
+            workers=args.workers,
+        )
+        result = aligner.align_batch(jobs, replication=replication)
+        payload = {
+            "pairs": len(jobs),
+            "engine": args.engine,
+            "replication": replication,
+            "xdrop": args.xdrop,
+            "gpus": args.gpus,
+            "threads_per_block": result.threads_per_block,
+            "measured_seconds": result.elapsed_seconds,
+            "measured_gcups": result.measured_gcups(),
+            "modeled_seconds": result.modeled_seconds,
+            "modeled_gcups": result.modeled_gcups,
+            "mean_score": float(np.mean(result.scores())),
+        }
+    else:
+        if args.replicate_to:
+            # Workload replication is a property of the LOGAN platform
+            # model; other engines run (and report) the sample as-is.
+            print(
+                "warning: --replicate-to applies only to the logan engine; "
+                "running the sample unreplicated",
+                file=sys.stderr,
+            )
+            replication = 1.0
+        engine = _build_engine(args.engine, scoring, args)
+        result = engine.align_batch(jobs)
+        payload = {
+            "pairs": len(jobs),
+            "engine": args.engine,
+            "replication": replication,
+            "xdrop": args.xdrop,
+            "measured_seconds": result.elapsed_seconds,
+            "measured_gcups": result.measured_gcups(),
+            "modeled_seconds": result.modeled_seconds,
+            "mean_score": float(np.mean(result.scores())),
+        }
     if args.baseline:
         baseline = SeqAnBatchAligner(scoring=scoring, xdrop=args.xdrop, workers=args.workers)
         bres = baseline.align_batch(jobs)
         payload["baseline_modeled_seconds"] = baseline.modeled_seconds_for(
             bres.summary.scaled(replication)
         )
+        # None for engines without a platform model (keeps --json strict).
+        modeled = payload["modeled_seconds"]
         payload["modeled_speedup"] = (
-            payload["baseline_modeled_seconds"] / payload["modeled_seconds"]
-            if payload["modeled_seconds"] > 0
-            else float("inf")
+            payload["baseline_modeled_seconds"] / modeled
+            if modeled is not None and modeled > 0
+            else None
         )
         payload["scores_identical"] = [r.score for r in result.results] == [
             r.score for r in bres.results
@@ -179,6 +219,12 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--aligner", choices=["seqan", "logan"], default="logan", help="alignment kernel"
     )
+    parser.add_argument(
+        "--engine",
+        choices=list_engines(),
+        default=None,
+        help="alignment engine from the registry (overrides --aligner)",
+    )
     parser.add_argument("--gpus", type=int, default=1)
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--min-overlap", type=int, default=500)
@@ -195,15 +241,8 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
         reads = dataset.reads
         error_rate = dataset.preset.error_rate
 
-    if args.aligner == "logan":
-        kernel = LoganAligner(
-            system=MultiGpuSystem.homogeneous(args.gpus),
-            scoring=scoring,
-            xdrop=args.xdrop,
-            workers=args.workers,
-        )
-    else:
-        kernel = SeqAnBatchAligner(scoring=scoring, xdrop=args.xdrop, workers=args.workers)
+    engine_name = args.engine if args.engine is not None else args.aligner
+    kernel = _build_engine(engine_name, scoring, args)
 
     pipeline = BellaPipeline(
         aligner=kernel,
@@ -218,7 +257,8 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
         "reads": len(reads),
         "kmer": args.kmer,
         "xdrop": args.xdrop,
-        "aligner": args.aligner,
+        "aligner": engine_name,
+        "engine": engine_name,
         "reliable_kmers": result.index.retained_kmers,
         "pruned_fraction": result.index.pruned_fraction,
         "candidates": result.candidates.num_candidates,
@@ -262,6 +302,7 @@ def main_bench(argv: Sequence[str] | None = None) -> int:
             "ablation_reversal",
             "ablation_reduction",
             "ablation_loadbalance",
+            "engines",
         ],
         help="experiment id (see DESIGN.md experiment index)",
     )
@@ -270,6 +311,13 @@ def main_bench(argv: Sequence[str] | None = None) -> int:
         type=float,
         default=1.0,
         help="work multiplier for the measured sample (1.0 = default laptop scale)",
+    )
+    parser.add_argument(
+        "--engine",
+        action="append",
+        choices=list_engines(),
+        default=None,
+        help="restrict the 'engines' experiment to these engines (repeatable)",
     )
     args = parser.parse_args(argv)
 
@@ -288,7 +336,10 @@ def main_bench(argv: Sequence[str] | None = None) -> int:
         sys.path.insert(0, root)
     from benchmarks import harness  # deferred: benchmarks ship next to the repo
 
-    table = harness.run_experiment(args.experiment, scale=args.scale)
+    if args.experiment == "engines" and args.engine:
+        table = harness.run_engines(scale=args.scale, engines=args.engine)
+    else:
+        table = harness.run_experiment(args.experiment, scale=args.scale)
     print(table.formatted())
     return 0
 

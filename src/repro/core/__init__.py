@@ -4,6 +4,9 @@ The public surface of this subpackage:
 
 * :func:`repro.core.xdrop_extend` — vectorised X-drop extension (the LOGAN
   kernel inner loop);
+* :func:`repro.core.xdrop_extend_batch` — inter-sequence batched kernel that
+  extends a whole batch of pairs per anti-diagonal step (one row per
+  alignment, LOGAN's one-block-per-extension layout);
 * :func:`repro.core.xdrop_extend_reference` — scalar reference oracle;
 * :func:`repro.core.exact_extension_score` — un-pruned full-DP oracle;
 * :func:`repro.core.extend_seed` / :class:`repro.core.Seed` — seed-and-extend
@@ -34,6 +37,7 @@ from .scoring import (
 )
 from .seed_extend import Seed, extend_seed, seed_score, split_on_seed
 from .xdrop import exact_extension_score, xdrop_extend_reference
+from .xdrop_batch import xdrop_extend_batch
 from .xdrop_vectorized import XDropKernelState, xdrop_extend
 
 __all__ = [
@@ -59,6 +63,7 @@ __all__ = [
     "seed_score",
     "split_on_seed",
     "xdrop_extend",
+    "xdrop_extend_batch",
     "xdrop_extend_reference",
     "exact_extension_score",
     "XDropKernelState",

@@ -13,12 +13,12 @@ models charge for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
-from .encoding import SequenceLike, encode
+from .encoding import encode
 from .result import SeedAlignmentResult
 from .seed_extend import Seed
 

@@ -21,7 +21,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import AlignmentError
-from .encoding import SequenceLike, encode, reverse
+from .encoding import SequenceLike, encode
 from .result import ExtensionResult, SeedAlignmentResult
 from .scoring import ScoringScheme
 from .xdrop_vectorized import xdrop_extend

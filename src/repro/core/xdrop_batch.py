@@ -1,0 +1,243 @@
+"""Inter-sequence batched X-drop extension kernel.
+
+The LOGAN paper's central observation (Section IV) is that X-drop extension
+only scales when *inter-sequence* parallelism is exploited: one GPU block per
+extension, thousands of extensions in flight at once.  The per-pair kernel in
+:mod:`repro.core.xdrop_vectorized` captures the *intra*-sequence parallelism
+of one anti-diagonal; this module adds the missing axis.
+
+:func:`xdrop_extend_batch` packs every extension of a batch into padded 2-D
+NumPy arrays — one row per alignment, exactly mirroring LOGAN's
+one-block-per-extension layout — and advances a single global anti-diagonal
+counter.  Each step performs one set of array operations over the whole
+batch:
+
+* the three-parent recurrence is evaluated for every alignment's band at
+  once (rows whose band does not cover a column are masked to ``-inf``);
+* the X-drop prune uses a per-row running best (the per-block shared
+  variable of the GPU kernel);
+* the band is trimmed per row by locating the first/last finite cell, and a
+  row retires when its band empties (early termination) or its DP matrix is
+  exhausted.
+
+Only the union of the per-row bands is computed at every step, so the work
+per anti-diagonal is ``O(batch * union_band_width)`` rather than
+``O(batch * max_query_length)``.  Scores, end positions, cell counts and
+band traces are bit-identical to the scalar reference for every row — the
+property the parity tests enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .encoding import SequenceLike, WILDCARD_CODE, encode
+from .result import NEG_INF, ExtensionResult
+from .scoring import ScoringScheme
+
+__all__ = ["xdrop_extend_batch"]
+
+_NEG = np.int64(NEG_INF)
+
+
+def _pack(seqs: list[np.ndarray], width: int) -> np.ndarray:
+    """Pack variable-length code arrays into one padded uint8 matrix.
+
+    Padding uses the wildcard code, which never scores a match; padded
+    cells are additionally masked out by the per-row band bounds.
+    """
+    out = np.full((len(seqs), max(width, 1)), WILDCARD_CODE, dtype=np.uint8)
+    for row, seq in enumerate(seqs):
+        if len(seq):
+            out[row, : len(seq)] = seq
+    return out
+
+
+def xdrop_extend_batch(
+    pairs: Sequence[tuple[SequenceLike, SequenceLike]],
+    scoring: ScoringScheme = ScoringScheme(),
+    xdrop: int = 100,
+    trace: bool = False,
+) -> list[ExtensionResult]:
+    """X-drop-extend every (query, target) pair of a batch simultaneously.
+
+    Parameters
+    ----------
+    pairs:
+        The extensions to run, each a ``(query, target)`` tuple (strings or
+        encoded ``uint8`` arrays).  Every extension starts at its own
+        position (0, 0), as in :func:`repro.core.xdrop.xdrop_extend_reference`.
+        Empty sequences are rejected (the shared kernel contract): callers
+        must filter seed-flush extensions, as the batch runners do.
+    scoring:
+        Linear-gap scoring scheme shared by the whole batch.
+    xdrop:
+        X-drop threshold shared by the whole batch.
+    trace:
+        Record per-anti-diagonal band widths in every result (consumed by
+        the GPU execution model).
+
+    Returns
+    -------
+    list[ExtensionResult]
+        One result per pair, in input order, identical to running the
+        scalar reference on each pair individually.
+    """
+    if xdrop < 0:
+        raise ConfigurationError(f"X-drop threshold must be non-negative, got {xdrop}")
+    if not pairs:
+        return []
+
+    queries = [encode(q) for q, _ in pairs]
+    targets = [encode(t) for _, t in pairs]
+    batch = len(pairs)
+    m = np.array([len(q) for q in queries], dtype=np.int64)
+    n = np.array([len(t) for t in targets], dtype=np.int64)
+    max_m = int(m.max())
+    max_n = int(n.max())
+    match, mismatch, gap = (
+        np.int64(scoring.match),
+        np.int64(scoring.mismatch),
+        np.int64(scoring.gap),
+    )
+
+    q_mat = _pack(queries, max_m)
+    t_mat = _pack(targets, max_n)
+
+    # Three anti-diagonal buffers, one row per alignment.  Buffer column
+    # b corresponds to DP row i = b - 1; column 0 is a -inf guard.
+    size = max_m + 2
+    prev2 = np.full((batch, size), _NEG, dtype=np.int64)
+    prev = np.full((batch, size), _NEG, dtype=np.int64)
+    cur = np.full((batch, size), _NEG, dtype=np.int64)
+    prev[:, 1] = 0  # origin cell (0, 0) of every alignment
+    # Extent of columns last written into each buffer, cleared on reuse so a
+    # recycled buffer never exposes stale scores ([start, stop) or None).
+    prev2_ext: tuple[int, int] | None = None
+    prev_ext: tuple[int, int] | None = (1, 2)
+    cur_ext: tuple[int, int] | None = None
+
+    # Per-row band state (DP-row index space, matching the scalar reference).
+    prev_lo = np.zeros(batch, dtype=np.int64)
+    prev_hi = np.zeros(batch, dtype=np.int64)
+    prev2_lo = np.zeros(batch, dtype=np.int64)
+    prev2_hi = np.full(batch, -1, dtype=np.int64)
+
+    best = np.zeros(batch, dtype=np.int64)
+    best_i = np.zeros(batch, dtype=np.int64)
+    best_j = np.zeros(batch, dtype=np.int64)
+    cells = np.ones(batch, dtype=np.int64)
+    anti = np.ones(batch, dtype=np.int64)
+    active = np.ones(batch, dtype=bool)
+    early = np.zeros(batch, dtype=bool)
+
+    last_diag = int((m + n).max())
+    widths_rec: np.ndarray | None = None
+    if trace:
+        widths_rec = np.zeros((last_diag + 1, batch), dtype=np.int64)
+        widths_rec[0, :] = 1
+
+    for d in range(1, last_diag + 1):
+        # Per-row band of anti-diagonal d: matrix bounds clipped by the rows
+        # reachable from the two previous (trimmed) bands.
+        lo = np.maximum(d - n, 0)
+        hi = np.minimum(d, m)
+        reach_lo = prev_lo.copy()
+        reach_hi = prev_hi + 1
+        has_prev2 = prev2_hi >= prev2_lo
+        np.minimum(reach_lo, prev2_lo + 1, out=reach_lo, where=has_prev2)
+        np.maximum(reach_hi, prev2_hi + 1, out=reach_hi, where=has_prev2)
+        np.maximum(lo, reach_lo, out=lo)
+        np.minimum(hi, reach_hi, out=hi)
+
+        exhausted = active & (lo > hi)
+        if exhausted.any():
+            # Band emptied before the far corner => genuine early stop;
+            # d beyond m + n is just the natural end of the matrix.
+            early |= exhausted & (d <= m + n)
+            active &= ~exhausted
+        if not active.any():
+            break
+
+        # Union window of the active bands: the only columns computed.
+        win_lo = int(lo[active].min())
+        win_hi = int(hi[active].max())
+        width = win_hi - win_lo + 1
+
+        i_idx = np.arange(win_lo, win_hi + 1)
+        j_idx = d - i_idx
+        # Rows with i == 0 or j == 0 index position -1 / out of range; the
+        # wrapped/clipped reads are harmless because the corresponding
+        # parents are -inf guards (same argument as the per-pair kernel).
+        qa = q_mat[:, i_idx - 1]
+        ta = t_mat[:, np.clip(j_idx - 1, 0, max(max_n - 1, 0))]
+        sub = np.where((qa == ta) & (qa != WILDCARD_CODE), match, mismatch)
+
+        vals = prev2[:, win_lo : win_hi + 1] + sub  # parent (i-1, j-1)
+        np.maximum(vals, prev[:, win_lo : win_hi + 1] + gap, out=vals)  # (i-1, j)
+        np.maximum(vals, prev[:, win_lo + 1 : win_hi + 2] + gap, out=vals)  # (i, j-1)
+
+        in_band = (i_idx >= lo[:, None]) & (i_idx <= hi[:, None]) & active[:, None]
+        vals[~in_band] = _NEG
+        np.copyto(vals, _NEG, where=vals < (best - xdrop)[:, None])
+
+        band_width = np.where(active, hi - lo + 1, 0)
+        cells += band_width
+        anti += active
+        if widths_rec is not None:
+            widths_rec[d, :] = band_width
+
+        finite = vals > _NEG
+        any_finite = finite.any(axis=1)
+        stopped = active & ~any_finite
+        if stopped.any():
+            early |= stopped
+            active &= ~stopped
+        if not active.any():
+            break
+
+        # Per-row anti-diagonal maximum (the warp-shuffle reduction of the
+        # GPU kernel); the shared best is updated after the whole diagonal.
+        row_best = vals.max(axis=1)
+        arg = vals.argmax(axis=1)
+        improved = row_best > best
+        best_i = np.where(improved, win_lo + arg, best_i)
+        best_j = np.where(improved, d - (win_lo + arg), best_j)
+        best = np.where(improved, row_best, best)
+
+        # Trim -inf runs from both ends of every row's band.
+        first = finite.argmax(axis=1)
+        last = width - 1 - finite[:, ::-1].argmax(axis=1)
+        prev2_lo, prev2_hi = prev_lo, prev_hi
+        prev_lo = np.where(active, win_lo + first, prev_lo)
+        prev_hi = np.where(active, win_lo + last, prev_hi)
+
+        # Write the diagonal into the scratch buffer and rotate.
+        if cur_ext is not None:
+            cur[:, cur_ext[0] : cur_ext[1]] = _NEG
+        cur[:, win_lo + 1 : win_hi + 2] = vals
+        cur_ext = (win_lo + 1, win_hi + 2)
+        prev2, prev, cur = prev, cur, prev2
+        prev2_ext, prev_ext, cur_ext = prev_ext, cur_ext, prev2_ext
+
+    results: list[ExtensionResult] = []
+    for k in range(batch):
+        band_widths = None
+        if widths_rec is not None:
+            col = widths_rec[:, k]
+            band_widths = np.ascontiguousarray(col[col > 0])
+        results.append(
+            ExtensionResult(
+                best_score=int(best[k]),
+                query_end=int(best_i[k]),
+                target_end=int(best_j[k]),
+                anti_diagonals=int(anti[k]),
+                cells_computed=int(cells[k]),
+                terminated_early=bool(early[k]),
+                band_widths=band_widths,
+            )
+        )
+    return results

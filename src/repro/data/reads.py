@@ -114,7 +114,6 @@ def apply_errors(
     )
     del_mask = (draws >= model.substitution + model.insertion) & (draws < model.total)
 
-    pieces: list[np.ndarray] = []
     out = sequence.copy()
     if sub_mask.any():
         count = int(sub_mask.sum())
@@ -125,9 +124,6 @@ def apply_errors(
     # Build the output with insertions and deletions in one pass over runs.
     keep = ~del_mask
     insert_bases = rng.integers(0, 4, size=int(ins_mask.sum()), dtype=np.uint8)
-    result = np.empty(int(keep.sum()) + len(insert_bases), dtype=np.uint8)
-    write = 0
-    insert_cursor = 0
     # Vectorised assembly: iterate over positions where structure changes.
     # For simplicity and correctness we fall back to a single compiled-level
     # loop via numpy fancy indexing on the kept bases, then splice insertions.

@@ -1,0 +1,388 @@
+"""Concrete alignment engines wrapping every aligner in the library.
+
+Six engines ship with the package (names as registered):
+
+=============  =====================================================  ======
+name           implementation                                         exact
+=============  =====================================================  ======
+``reference``  per-job Python loop over the scalar reference kernel   yes
+``vectorized`` per-job loop over the per-pair vectorised kernel       yes
+``batched``    inter-sequence batched kernel — the whole batch is
+               packed into padded arrays and swept together
+               (:func:`repro.core.xdrop_batch.xdrop_extend_batch`)    yes
+``seqan``      SeqAn-like CPU batch runner + POWER9 platform model    yes
+``ksw2``       ksw2-style affine Z-drop runner + Skylake model        no
+``logan``      LOGAN batch aligner + V100 multi-GPU execution model   yes
+=============  =====================================================  ======
+
+"exact" engines return scores, end positions and work accounting identical
+to :func:`repro.core.xdrop.xdrop_extend_reference` on every job; the parity
+test-suite enforces this.  All constructors share the
+``(scoring, xdrop, workers, trace)`` signature so :func:`repro.engine.get_engine`
+can build any of them uniformly; engines that cannot use an option accept
+and ignore it (documented per class).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..baselines.ksw2_batch import Ksw2BatchAligner
+from ..baselines.seqan_like import SeqAnBatchAligner
+from ..core.job import AlignmentJob, summarize_results
+from ..core.result import ExtensionResult, SeedAlignmentResult
+from ..core.scoring import AffineScoringScheme, ScoringScheme
+from ..core.seed_extend import extend_seed
+from ..core.xdrop import xdrop_extend_reference
+from ..core.xdrop_vectorized import xdrop_extend
+from ..logan.host import prepare_batch
+from ..logan.kernel import execute_tasks_batched
+from ..perf.parallel import parallel_map
+from ..perf.timers import Timer
+from .base import EngineBatchResult, register_engine
+
+__all__ = [
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "BatchedEngine",
+    "SeqAnEngine",
+    "Ksw2Engine",
+    "LoganEngine",
+]
+
+
+def _extend_job(job, scoring, xdrop, trace, kernel) -> SeedAlignmentResult:
+    """Worker: one seed-and-extend alignment (module-level, picklable)."""
+    return extend_seed(
+        job.query, job.target, job.seed, scoring=scoring, xdrop=xdrop,
+        kernel=kernel, trace=trace,
+    )
+
+
+class _EngineBase:
+    """Shared configuration plumbing for the bundled engines."""
+
+    name = "abstract"
+    exact = True
+
+    def __init__(
+        self,
+        scoring: ScoringScheme = ScoringScheme(),
+        xdrop: int = 100,
+        workers: int = 1,
+        trace: bool = False,
+    ) -> None:
+        self.scoring = scoring
+        self.xdrop = int(xdrop)
+        self.workers = max(1, int(workers))
+        self.trace = bool(trace)
+
+    def _resolve(
+        self, scoring: ScoringScheme | None, xdrop: int | None
+    ) -> tuple[ScoringScheme, int]:
+        return (
+            self.scoring if scoring is None else scoring,
+            self.xdrop if xdrop is None else int(xdrop),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(xdrop={self.xdrop})"
+
+
+class _PerJobEngine(_EngineBase):
+    """Engines that loop over jobs, one extension kernel call per side."""
+
+    kernel = staticmethod(xdrop_extend)
+
+    def align_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring: ScoringScheme | None = None,
+        xdrop: int | None = None,
+    ) -> EngineBatchResult:
+        scoring, xdrop = self._resolve(scoring, xdrop)
+        timer = Timer()
+        with timer:
+            results = parallel_map(
+                _extend_job,
+                list(jobs),
+                args=(scoring, xdrop, self.trace, self.kernel),
+                workers=self.workers,
+            )
+        return EngineBatchResult(
+            engine=self.name,
+            results=list(results),
+            summary=summarize_results(results),
+            elapsed_seconds=timer.elapsed,
+        )
+
+
+class ReferenceEngine(_PerJobEngine):
+    """Per-job scalar reference loop — the semantic oracle, and the slowest."""
+
+    name = "reference"
+    kernel = staticmethod(xdrop_extend_reference)
+
+
+class VectorizedEngine(_PerJobEngine):
+    """Per-job loop over the per-pair vectorised kernel (intra-sequence only)."""
+
+    name = "vectorized"
+    kernel = staticmethod(xdrop_extend)
+
+
+class BatchedEngine(_EngineBase):
+    """Inter-sequence batched engine: one fused sweep over the whole batch.
+
+    Jobs are split at their seeds by the LOGAN host preprocessing, and all
+    resulting left- and right-extensions are swept together by
+    :func:`repro.logan.kernel.execute_tasks_batched` — every extension is
+    one row of the batch kernel, mirroring LOGAN's one-block-per-extension
+    GPU layout.  With ``workers > 1`` the sweep is chunked across worker
+    processes (scores and traces are unaffected).
+    """
+
+    name = "batched"
+
+    def align_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring: ScoringScheme | None = None,
+        xdrop: int | None = None,
+    ) -> EngineBatchResult:
+        scoring, xdrop = self._resolve(scoring, xdrop)
+        timer = Timer()
+        with timer:
+            prepared = prepare_batch(jobs, scoring)
+            tasks = prepared.left_tasks + prepared.right_tasks
+            extensions = execute_tasks_batched(
+                tasks,
+                scoring,
+                xdrop,
+                workers=self.workers,
+                trace=self.trace,
+            )
+            sides: dict[tuple[int, str], ExtensionResult] = {
+                (task.job_index, task.direction): ext
+                for task, ext in zip(tasks, extensions)
+            }
+            results = []
+            for index, job in enumerate(jobs):
+                left = sides[(index, "left")]
+                right = sides[(index, "right")]
+                anchor = prepared.seed_scores[index]
+                seed = job.seed
+                results.append(
+                    SeedAlignmentResult(
+                        score=int(left.best_score + right.best_score + anchor),
+                        left=left,
+                        right=right,
+                        seed_score=anchor,
+                        query_begin=seed.query_pos - left.query_end,
+                        query_end=seed.query_end + right.query_end,
+                        target_begin=seed.target_pos - left.target_end,
+                        target_end=seed.target_end + right.target_end,
+                    )
+                )
+        return EngineBatchResult(
+            engine=self.name,
+            results=results,
+            summary=summarize_results(results),
+            elapsed_seconds=timer.elapsed,
+        )
+
+
+class SeqAnEngine(_EngineBase):
+    """SeqAn-like CPU batch runner with the modeled POWER9 runtime."""
+
+    name = "seqan"
+
+    def align_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring: ScoringScheme | None = None,
+        xdrop: int | None = None,
+    ) -> EngineBatchResult:
+        scoring, xdrop = self._resolve(scoring, xdrop)
+        aligner = SeqAnBatchAligner(
+            scoring=scoring, xdrop=xdrop, workers=self.workers, trace=self.trace
+        )
+        batch = aligner.align_batch(jobs)
+        return EngineBatchResult(
+            engine=self.name,
+            results=batch.results,
+            summary=batch.summary,
+            elapsed_seconds=batch.elapsed_seconds,
+            modeled_seconds=batch.modeled_seconds,
+            extras={"batch": batch},
+        )
+
+
+class Ksw2Engine(_EngineBase):
+    """ksw2-style affine Z-drop runner with the modeled Skylake runtime.
+
+    Not score-exact with the X-drop reference: the recurrence is affine-gap
+    and the termination rule is Z-drop, so scores are comparable but not
+    identical (``exact = False``).  The ``xdrop`` parameter is used as the
+    Z-drop threshold, the mapping of LOGAN's benchmark harness.
+
+    A non-default linear ``scoring`` has its match/mismatch scores carried
+    over into the affine scheme (the gap terms keep ksw2's minimap2
+    defaults, which have no linear equivalent); pass ``affine_scoring`` to
+    control the affine scheme fully.
+    """
+
+    name = "ksw2"
+    exact = False
+
+    def __init__(
+        self,
+        scoring: ScoringScheme = ScoringScheme(),
+        xdrop: int = 100,
+        workers: int = 1,
+        trace: bool = False,
+        affine_scoring: AffineScoringScheme | None = None,
+        bandwidth: int | None = None,
+    ) -> None:
+        super().__init__(scoring=scoring, xdrop=xdrop, workers=workers, trace=trace)
+        self._explicit_affine = affine_scoring
+        self.affine_scoring = affine_scoring or self._derive_affine(scoring)
+        self.bandwidth = bandwidth
+
+    @staticmethod
+    def _derive_affine(scoring: ScoringScheme) -> AffineScoringScheme:
+        """Affine scheme honouring a custom linear substitution scoring."""
+        if scoring == ScoringScheme():
+            return AffineScoringScheme()  # minimap2 map-pb defaults
+        base = AffineScoringScheme()
+        return AffineScoringScheme(
+            match=scoring.match,
+            mismatch=scoring.mismatch,
+            gap_open=base.gap_open,
+            gap_extend=base.gap_extend,
+        )
+
+    def align_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring: ScoringScheme | None = None,
+        xdrop: int | None = None,
+    ) -> EngineBatchResult:
+        scoring, zdrop = self._resolve(scoring, xdrop)
+        affine = self._explicit_affine or self._derive_affine(scoring)
+        aligner = Ksw2BatchAligner(
+            scoring=affine,
+            zdrop=zdrop,
+            bandwidth=self.bandwidth,
+            workers=self.workers,
+        )
+        batch = aligner.align_batch(jobs)
+        results = []
+        for job, (left, right), score in zip(jobs, batch.results, batch.scores):
+            left_ext = self._to_extension(left)
+            right_ext = self._to_extension(right)
+            seed = job.seed
+            results.append(
+                SeedAlignmentResult(
+                    score=int(score),
+                    left=left_ext,
+                    right=right_ext,
+                    seed_score=seed.length * affine.match,
+                    query_begin=seed.query_pos - left.query_end,
+                    query_end=seed.query_end + right.query_end,
+                    target_begin=seed.target_pos - left.target_end,
+                    target_end=seed.target_end + right.target_end,
+                )
+            )
+        return EngineBatchResult(
+            engine=self.name,
+            results=results,
+            summary=batch.summary,
+            elapsed_seconds=batch.elapsed_seconds,
+            modeled_seconds=batch.modeled_seconds,
+            extras={"batch": batch, "band": batch.band},
+        )
+
+    @staticmethod
+    def _to_extension(res) -> ExtensionResult:
+        return ExtensionResult(
+            best_score=res.best_score,
+            query_end=res.query_end,
+            target_end=res.target_end,
+            anti_diagonals=res.rows_computed,
+            cells_computed=res.cells_computed,
+            terminated_early=res.terminated_early,
+        )
+
+
+class LoganEngine(_EngineBase):
+    """LOGAN batch aligner with the modeled V100 multi-GPU runtime.
+
+    ``trace`` is accepted for signature uniformity; LOGAN always traces
+    (the GPU execution model replays the band traces).
+    """
+
+    name = "logan"
+
+    def __init__(
+        self,
+        scoring: ScoringScheme = ScoringScheme(),
+        xdrop: int = 100,
+        workers: int = 1,
+        trace: bool = False,
+        system=None,
+        gpus: int | None = None,
+        threads_per_block: int | None = None,
+        execution: str = "batched",
+    ) -> None:
+        super().__init__(scoring=scoring, xdrop=xdrop, workers=workers, trace=trace)
+        from ..gpusim.multi_gpu import MultiGpuSystem
+        from ..logan.batch import LoganAligner
+
+        if system is None and gpus is not None:
+            system = MultiGpuSystem.homogeneous(gpus)
+        self.aligner = LoganAligner(
+            system=system,
+            scoring=scoring,
+            xdrop=self.xdrop,
+            threads_per_block=threads_per_block,
+            workers=self.workers,
+            engine=execution,
+        )
+
+    def align_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring: ScoringScheme | None = None,
+        xdrop: int | None = None,
+    ) -> EngineBatchResult:
+        scoring, xdrop = self._resolve(scoring, xdrop)
+        aligner = self.aligner
+        if scoring is not aligner.scoring or xdrop != aligner.xdrop:
+            from ..logan.batch import LoganAligner
+
+            aligner = LoganAligner(
+                system=aligner.system,
+                scoring=scoring,
+                xdrop=xdrop,
+                threads_per_block=aligner._explicit_threads,
+                workers=aligner.workers,
+                engine=aligner.engine,
+            )
+        batch = aligner.align_batch(jobs)
+        return EngineBatchResult(
+            engine=self.name,
+            results=batch.results,
+            summary=batch.summary,
+            elapsed_seconds=batch.elapsed_seconds,
+            modeled_seconds=batch.modeled_seconds,
+            extras={"batch": batch, "modeled_gcups": batch.modeled_gcups},
+        )
+
+
+register_engine("reference", ReferenceEngine)
+register_engine("vectorized", VectorizedEngine)
+register_engine("batched", BatchedEngine)
+register_engine("seqan", SeqAnEngine)
+register_engine("ksw2", Ksw2Engine)
+register_engine("logan", LoganEngine)

@@ -21,7 +21,7 @@ the *modeled* wall-clock on the paper's V100 platform, plus the breakdown
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.job import AlignmentJob, BatchWorkSummary, summarize_results
@@ -35,7 +35,7 @@ from ..gpusim.stream import StreamedTiming, compose_streams
 from ..gpusim.warp import KernelCostParameters
 from ..perf.timers import Timer
 from .host import HostModel, PreparedBatch, prepare_batch, threads_for_xdrop
-from .kernel import StreamExecution, run_extension_stream
+from .kernel import run_extension_stream
 from .scheduler import DeviceAssignment, LoadBalancer
 
 __all__ = ["LoganBatchResult", "LoganAligner"]
@@ -127,6 +127,15 @@ class LoganAligner:
         Instruction-cost constants of the GPU model (exposed for ablations).
     balancer_policy:
         ``"cells"`` (default) or ``"count"`` — see :class:`LoadBalancer`.
+    engine:
+        Functional execution strategy for the extension streams:
+        ``"batched"`` (default — the inter-sequence batch kernel, every
+        extension one row of a single fused sweep, mirroring the GPU
+        layout), ``"vectorized"`` (one per-pair kernel call per extension),
+        or a custom callable (see
+        :func:`repro.logan.kernel.run_extension_stream`).  The choice never
+        affects scores, traces or the modeled runtimes — only the measured
+        Python wall-clock.
     """
 
     def __init__(
@@ -139,9 +148,17 @@ class LoganAligner:
         host_model: HostModel = HostModel(),
         kernel_params: KernelCostParameters | None = None,
         balancer_policy: str = "cells",
+        engine: str = "batched",
     ) -> None:
         if xdrop < 0:
             raise ConfigurationError("xdrop must be non-negative")
+        from .kernel import EXTENSION_EXECUTORS
+
+        if not callable(engine) and engine not in EXTENSION_EXECUTORS:
+            raise ConfigurationError(
+                f"unknown extension engine {engine!r}; "
+                f"available: {sorted(EXTENSION_EXECUTORS)}"
+            )
         self.system = system or MultiGpuSystem.homogeneous(1)
         self.scoring = scoring
         self.xdrop = int(xdrop)
@@ -149,6 +166,7 @@ class LoganAligner:
         self.host_model = host_model
         self.kernel_params = kernel_params or KernelCostParameters()
         self.balancer_policy = balancer_policy
+        self.engine = engine
         self._explicit_threads = threads_per_block
         self._models = [
             KernelExecutionModel(device, params=self.kernel_params)
@@ -222,6 +240,7 @@ class LoganAligner:
                         xdrop=self.xdrop,
                         replication=replication,
                         workers=self.workers,
+                        engine=self.engine,
                     )
                     for task, result in zip(tasks, execution.results):
                         sink[task.job_index] = result

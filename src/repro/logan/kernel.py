@@ -16,18 +16,26 @@ SeqAn-style reference (tests enforce this), which reproduces the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.result import ExtensionResult
 from ..core.scoring import ScoringScheme
-from ..core.xdrop_vectorized import XDropKernelState, xdrop_extend
+from ..core.xdrop_batch import xdrop_extend_batch
+from ..core.xdrop_vectorized import xdrop_extend
+from ..errors import ConfigurationError
 from ..gpusim.trace import BlockWorkTrace, KernelWorkload
-from ..perf.parallel import parallel_map
+from ..perf.parallel import chunk_evenly, parallel_map
 from .host import ExtensionTask
 
-__all__ = ["StreamExecution", "run_extension_stream"]
+__all__ = [
+    "StreamExecution",
+    "run_extension_stream",
+    "execute_tasks_batched",
+    "empty_extension",
+    "EXTENSION_EXECUTORS",
+]
 
 
 @dataclass
@@ -47,7 +55,7 @@ class StreamExecution:
     workload: KernelWorkload
 
 
-def _empty_extension() -> ExtensionResult:
+def empty_extension(trace: bool = True) -> ExtensionResult:
     """Result used for tasks with nothing to extend (zero-length side)."""
     return ExtensionResult(
         best_score=0,
@@ -56,7 +64,7 @@ def _empty_extension() -> ExtensionResult:
         anti_diagonals=1,
         cells_computed=1,
         terminated_early=False,
-        band_widths=np.asarray([1], dtype=np.int64),
+        band_widths=np.asarray([1], dtype=np.int64) if trace else None,
     )
 
 
@@ -65,8 +73,74 @@ def _run_task(
 ) -> ExtensionResult:
     """Worker: execute one extension with tracing enabled (picklable)."""
     if task.is_empty:
-        return _empty_extension()
+        return empty_extension()
     return xdrop_extend(task.query, task.target, scoring=scoring, xdrop=xdrop, trace=True)
+
+
+def _execute_vectorized(
+    tasks: Sequence[ExtensionTask], scoring: ScoringScheme, xdrop: int, workers: int
+) -> list[ExtensionResult]:
+    """Per-task execution: one vectorised kernel call per extension."""
+    return parallel_map(_run_task, list(tasks), args=(scoring, xdrop), workers=workers)
+
+
+def _run_pair_chunk(
+    pairs: list, scoring: ScoringScheme, xdrop: int, trace: bool
+) -> list[ExtensionResult]:
+    """Worker: one batched sweep over a chunk of pairs (picklable)."""
+    return xdrop_extend_batch(pairs, scoring=scoring, xdrop=xdrop, trace=trace)
+
+
+def execute_tasks_batched(
+    tasks: Sequence[ExtensionTask],
+    scoring: ScoringScheme,
+    xdrop: int,
+    workers: int = 1,
+    trace: bool = True,
+) -> list[ExtensionResult]:
+    """Inter-sequence execution: every extension is one row of a batched
+    anti-diagonal sweep (LOGAN's one-block-per-extension layout).
+
+    With ``workers > 1`` the live tasks are split into contiguous chunks and
+    each chunk is swept by one worker process — chunking never changes
+    scores or traces, only the measured wall-clock.  Seed-flush tasks (an
+    empty side) never reach the kernel; they yield a zero-score extension,
+    the shared contract of every batch runner.
+    """
+    live = [task for task in tasks if not task.is_empty]
+    pairs = [(task.query, task.target) for task in live]
+    if workers > 1 and len(pairs) > 1:
+        chunks = chunk_evenly(pairs, min(workers, len(pairs)))
+        chunk_results = parallel_map(
+            _run_pair_chunk,
+            chunks,
+            args=(scoring, xdrop, trace),
+            workers=workers,
+            min_items_per_worker=1,
+        )
+        extensions = iter([ext for chunk in chunk_results for ext in chunk])
+    else:
+        extensions = iter(
+            xdrop_extend_batch(pairs, scoring=scoring, xdrop=xdrop, trace=trace)
+        )
+    return [
+        empty_extension(trace) if task.is_empty else next(extensions)
+        for task in tasks
+    ]
+
+
+def _execute_batched(
+    tasks: Sequence[ExtensionTask], scoring: ScoringScheme, xdrop: int, workers: int
+) -> list[ExtensionResult]:
+    """Stream executor wrapper: batched execution with tracing on."""
+    return execute_tasks_batched(tasks, scoring, xdrop, workers=workers, trace=True)
+
+
+#: Named functional-execution strategies for a stream of extension tasks.
+EXTENSION_EXECUTORS: dict[str, Callable[..., list[ExtensionResult]]] = {
+    "vectorized": _execute_vectorized,
+    "batched": _execute_batched,
+}
 
 
 def run_extension_stream(
@@ -75,6 +149,7 @@ def run_extension_stream(
     xdrop: int,
     replication: float = 1.0,
     workers: int = 1,
+    engine: str | Callable[..., list[ExtensionResult]] = "batched",
 ) -> StreamExecution:
     """Execute one stream of extensions and collect the traced workload.
 
@@ -91,8 +166,23 @@ def run_extension_stream(
     workers:
         Local worker processes used to execute the extensions (affects only
         the measured wall-clock, never the scores or the traces).
+    engine:
+        Functional execution strategy: ``"batched"`` (default — the
+        inter-sequence batch kernel), ``"vectorized"`` (one kernel call per
+        extension), or a callable ``(tasks, scoring, xdrop, workers) ->
+        list[ExtensionResult]``.  Scores and traces are identical for every
+        strategy; only the measured Python wall-clock differs.
     """
-    results = parallel_map(_run_task, list(tasks), args=(scoring, xdrop), workers=workers)
+    if callable(engine):
+        executor = engine
+    else:
+        executor = EXTENSION_EXECUTORS.get(str(engine))
+        if executor is None:
+            raise ConfigurationError(
+                f"unknown extension engine {engine!r}; "
+                f"available: {sorted(EXTENSION_EXECUTORS)}"
+            )
+    results = executor(list(tasks), scoring, xdrop, workers)
     workload = KernelWorkload(replication=replication)
     for task, result in zip(tasks, results):
         if task.is_empty:

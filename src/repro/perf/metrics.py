@@ -11,8 +11,8 @@ rows as the paper's tables.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Sequence
 
 __all__ = ["gcups", "speedup", "BenchRow", "BenchTable"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import ScoringScheme, Seed, random_sequence
+from repro.core import ScoringScheme, random_sequence
 from repro.core.job import AlignmentJob
 from repro.data import ErrorModel, apply_errors
 from repro.data.pairs import PairSetSpec, generate_pair_set

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bella import build_kmer_index, count_kmers, pack_kmers, reliable_kmer_range
-from repro.core import decode, encode, random_sequence
+from repro.core import random_sequence
 from repro.errors import ConfigurationError
 
 SEQ = st.text(alphabet="ACGT", min_size=5, max_size=80)

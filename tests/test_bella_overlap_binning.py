@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bella import (
@@ -13,7 +12,7 @@ from repro.bella import (
     estimate_overlap_length,
     find_candidate_overlaps,
 )
-from repro.core import decode, random_sequence
+from repro.core import random_sequence
 from repro.errors import ConfigurationError
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.baselines import SeqAnBatchAligner
 from repro.bella import AdaptiveThreshold, BellaPipeline
-from repro.core import ScoringScheme
 from repro.data import true_overlap
 from repro.errors import ConfigurationError
 from repro.logan import LoganAligner
@@ -114,6 +113,8 @@ class TestBellaPipeline:
 
     def test_default_aligner_is_lazy_seqan(self):
         pipeline = BellaPipeline()
-        from repro.baselines.seqan_like import SeqAnBatchAligner as Cls
+        assert pipeline._aligner is None  # built lazily on first access
+        from repro.engine import SeqAnEngine
 
-        assert isinstance(pipeline.aligner, Cls)
+        assert isinstance(pipeline.aligner, SeqAnEngine)
+        assert pipeline.aligner.name == "seqan"

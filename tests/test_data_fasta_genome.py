@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.data import (
-    Genome,
     RepeatSpec,
     SequenceRecord,
     read_fasta,

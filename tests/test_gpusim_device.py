@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.gpusim import TESLA_A100, TESLA_V100, DeviceSpec
+from repro.gpusim import TESLA_A100, TESLA_V100
 
 
 class TestV100Preset:

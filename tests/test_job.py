@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import ScoringScheme, Seed, extend_seed, random_sequence
+from repro.core import Seed, extend_seed, random_sequence
 from repro.core.job import AlignmentJob, BatchWorkSummary, summarize_results
 
 

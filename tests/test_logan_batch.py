@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import SeqAnBatchAligner
-from repro.core import ScoringScheme
 from repro.errors import ConfigurationError
 from repro.gpusim import MultiGpuSystem
 from repro.logan import LoganAligner, run_extension_stream, prepare_batch

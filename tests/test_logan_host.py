@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import ScoringScheme, Seed
+from repro.core import Seed
 from repro.core.job import AlignmentJob
 from repro.errors import ConfigurationError
 from repro.gpusim import TESLA_V100

@@ -15,7 +15,7 @@ from repro.baselines import (
     Ksw2CostModel,
     SeqAnBatchAligner,
 )
-from repro.core import AffineScoringScheme, ScoringScheme
+from repro.core import AffineScoringScheme
 from repro.errors import ConfigurationError
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.core import ScoringScheme, random_sequence, xdrop_extend
@@ -105,7 +104,7 @@ class TestAnalyzeKernel:
         assert analysis.efficiency > 0.4
 
     def test_empty_workload_rejected(self):
-        model = KernelExecutionModel(TESLA_V100)
+        KernelExecutionModel(TESLA_V100)
         with pytest.raises(ConfigurationError):
             analyze_kernel(TESLA_V100, None, KernelWorkload())  # type: ignore[arg-type]
 

@@ -1,0 +1,111 @@
+"""Parity tests for the inter-sequence batched X-drop kernel.
+
+The batch kernel must reproduce the scalar reference *exactly* on every row
+of a batch: scores, end positions, cell counts, anti-diagonal counts, early
+termination flags and band traces ("equivalent accuracy", Section VI of the
+paper, extended to the work accounting consumed by the GPU model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ScoringScheme, random_sequence
+from repro.core.xdrop import xdrop_extend_reference
+from repro.core.xdrop_batch import xdrop_extend_batch
+from repro.data import ErrorModel, apply_errors
+from repro.errors import ConfigurationError, SequenceError
+
+
+def random_pairs(rng, count, max_len=220, related_fraction=0.6):
+    """Mixed batch: related pairs, unrelated pairs, tiny and long sequences."""
+    pairs = []
+    for _ in range(count):
+        query = random_sequence(int(rng.integers(1, max_len)), rng=rng)
+        if rng.random() < related_fraction:
+            target = apply_errors(query, ErrorModel.with_total(0.15), rng)
+        else:
+            target = random_sequence(int(rng.integers(1, max_len)), rng=rng)
+        if rng.random() < 0.2:
+            query = query.copy()
+            query[rng.integers(0, len(query))] = 4  # wildcard N
+        pairs.append((query, target))
+    return pairs
+
+
+def assert_matches_reference(pairs, scoring, xdrop):
+    batch = xdrop_extend_batch(pairs, scoring, xdrop=xdrop, trace=True)
+    assert len(batch) == len(pairs)
+    for got, (query, target) in zip(batch, pairs):
+        ref = xdrop_extend_reference(query, target, scoring, xdrop=xdrop, trace=True)
+        assert got.best_score == ref.best_score
+        assert got.query_end == ref.query_end
+        assert got.target_end == ref.target_end
+        assert got.cells_computed == ref.cells_computed
+        assert got.anti_diagonals == ref.anti_diagonals
+        assert got.terminated_early == ref.terminated_early
+        assert np.array_equal(got.band_widths, ref.band_widths)
+
+
+class TestBatchKernelParity:
+    @pytest.mark.parametrize("xdrop", [0, 3, 25, 100])
+    def test_random_batches_match_reference(self, xdrop):
+        rng = np.random.default_rng(xdrop + 11)
+        pairs = random_pairs(rng, 24)
+        assert_matches_reference(pairs, ScoringScheme(), xdrop)
+
+    def test_nondefault_scoring(self):
+        rng = np.random.default_rng(5)
+        pairs = random_pairs(rng, 12)
+        assert_matches_reference(pairs, ScoringScheme(match=2, mismatch=-3, gap=-2), 30)
+
+    def test_singleton_batch_matches_per_pair(self):
+        rng = np.random.default_rng(9)
+        pairs = random_pairs(rng, 1)
+        assert_matches_reference(pairs, ScoringScheme(), 40)
+
+    def test_string_inputs(self):
+        pairs = [("ACGTACGTTT", "ACGTACGTAA"), ("AAAA", "TTTT")]
+        results = xdrop_extend_batch(pairs, ScoringScheme(), xdrop=10)
+        assert results[0].best_score == 8
+        assert results[1].best_score == 0
+
+    def test_identical_sequences_full_score(self):
+        seq = random_sequence(150, rng=np.random.default_rng(2))
+        results = xdrop_extend_batch([(seq, seq)] * 3, ScoringScheme(), xdrop=50)
+        for res in results:
+            assert res.best_score == 150
+            assert res.query_end == res.target_end == 150
+            assert not res.terminated_early
+
+
+class TestBatchKernelEdges:
+    def test_empty_batch(self):
+        assert xdrop_extend_batch([], ScoringScheme(), xdrop=10) == []
+
+    def test_empty_sequences_rejected(self):
+        # Same contract as the per-pair kernels: empty extensions are the
+        # caller's responsibility (seed-flush tasks never reach a kernel).
+        empty = np.zeros(0, dtype=np.uint8)
+        with pytest.raises(SequenceError):
+            xdrop_extend_batch([(empty, "ACGT")], ScoringScheme(), xdrop=10)
+
+    def test_negative_xdrop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            xdrop_extend_batch([("ACGT", "ACGT")], ScoringScheme(), xdrop=-1)
+
+    def test_trace_disabled_by_default(self):
+        results = xdrop_extend_batch([("ACGT", "ACGT")], ScoringScheme(), xdrop=10)
+        assert results[0].band_widths is None
+
+    def test_widely_varying_lengths(self):
+        rng = np.random.default_rng(17)
+        base = random_sequence(400, rng=rng)
+        pairs = [
+            (base[:5], base[:400]),
+            (base[:400], base[:5]),
+            (base, apply_errors(base, ErrorModel.with_total(0.1), rng)),
+            (base[:60], random_sequence(350, rng=rng)),
+        ]
+        assert_matches_reference(pairs, ScoringScheme(), 35)

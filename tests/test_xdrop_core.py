@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (
-    ScoringScheme,
     exact_extension_score,
     random_sequence,
     xdrop_extend_reference,
