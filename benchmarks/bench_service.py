@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Service-layer benchmark: batching + cache benefit over per-job submission.
+
+Runs the same fixed-seed mixed-length workload three ways —
+
+1. ``direct``     — one ``align_batch`` call on the batched engine (the
+                    offline upper bound the service should approach);
+2. ``per_job``    — one engine call per job, the naive front door the
+                    service replaces;
+3. ``service``    — individual submissions through
+                    :class:`repro.service.AlignmentService` (adaptive
+                    batching, sharded workers), then a second submission
+                    round that must be answered from the result cache
+
+— and writes ``BENCH_service.json`` next to the repository root.  The
+checked-in acceptance numbers: service throughput >= per-job submission
+throughput, score parity with the direct batch, and a nonzero cache hit
+rate on resubmission.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--pairs 192] [--smoke]
+
+``--smoke`` shrinks the workload and skips the timing assertion (CI runs it
+as a non-timing wiring check), while still enforcing score parity and
+cache behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import ScoringScheme  # noqa: E402
+from repro.data import PairSetSpec, generate_pair_set  # noqa: E402
+from repro.engine import get_engine  # noqa: E402
+from repro.perf import Timer, gcups  # noqa: E402
+from repro.service import AlignmentService, BatchPolicy  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+
+def build_batch(pairs: int, rng_seed: int) -> list:
+    """Mixed-length workload (200-900 bp) with mid-read seeds."""
+    return generate_pair_set(
+        PairSetSpec(
+            num_pairs=pairs,
+            min_length=200,
+            max_length=900,
+            pairwise_error_rate=0.15,
+            unrelated_fraction=0.1,
+            seed_placement="middle",
+            rng_seed=rng_seed,
+        )
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Benchmark the alignment service.")
+    parser.add_argument("--pairs", type=int, default=192, help="workload size")
+    parser.add_argument("--xdrop", type=int, default=50, help="X-drop threshold")
+    parser.add_argument("--seed", type=int, default=2020, help="workload RNG seed")
+    parser.add_argument("--batch-size", type=int, default=48, help="service batch bound")
+    parser.add_argument("--workers", type=int, default=1, help="service worker shards")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, correctness checks only (no timing assertion)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.pairs = min(args.pairs, 24)
+        args.batch_size = min(args.batch_size, 8)
+
+    scoring = ScoringScheme()
+    jobs = build_batch(args.pairs, args.seed)
+    print(f"workload: {len(jobs)} jobs, X={args.xdrop}, seed={args.seed}")
+
+    engine = get_engine("batched", scoring=scoring, xdrop=args.xdrop)
+
+    # 1. Direct: the whole workload in one engine batch.
+    direct_timer = Timer()
+    with direct_timer:
+        direct = engine.align_batch(jobs)
+    direct_gcups = gcups(direct.summary.cells, direct_timer.elapsed)
+
+    # 2. Per-job: one engine call per request (no batching, no cache).
+    per_job_timer = Timer()
+    per_job_scores = []
+    with per_job_timer:
+        for job in jobs:
+            per_job_scores.append(engine.align_batch([job]).scores()[0])
+    per_job_gcups = gcups(direct.summary.cells, per_job_timer.elapsed)
+
+    # 3. Service: individual submissions, adaptive batching, then a cached
+    #    resubmission round.
+    service = AlignmentService(
+        engine="batched",
+        scoring=scoring,
+        xdrop=args.xdrop,
+        num_workers=args.workers,
+        policy=BatchPolicy(max_batch_size=args.batch_size, bin_width=500),
+        cache_capacity=4 * len(jobs),
+    )
+    service_timer = Timer()
+    with service_timer:
+        tickets = service.submit_many(jobs)
+        service.drain()
+        service_scores = [t.result(timeout=120.0).score for t in tickets]
+    service_gcups = gcups(direct.summary.cells, service_timer.elapsed)
+
+    resubmit_timer = Timer()
+    with resubmit_timer:
+        tickets2 = service.submit_many(jobs)
+        service.drain()
+        resubmit_scores = [t.result(timeout=120.0).score for t in tickets2]
+    stats = service.stats()
+    service.shutdown()
+
+    rows = {
+        "direct": {"seconds": direct_timer.elapsed, "gcups": direct_gcups},
+        "per_job": {"seconds": per_job_timer.elapsed, "gcups": per_job_gcups},
+        "service": {
+            "seconds": service_timer.elapsed,
+            "gcups": service_gcups,
+            "batches_formed": stats.batches_formed,
+            "mean_batch_size": stats.mean_batch_size,
+            "flush_reasons": stats.flush_reasons,
+        },
+        "service_resubmit": {
+            "seconds": resubmit_timer.elapsed,
+            "cache_hit_rate": stats.cache.hit_rate,
+            "cache_hits": stats.cache.hits,
+        },
+    }
+    for name, row in rows.items():
+        extra = f" {row['gcups']:8.4f} GCUPS" if "gcups" in row else ""
+        print(f"{name:>18s}: {row['seconds']:8.3f}s{extra}")
+    speedup_vs_per_job = (
+        per_job_timer.elapsed / service_timer.elapsed
+        if service_timer.elapsed > 0
+        else 0.0
+    )
+    print(
+        f"service vs per-job: {speedup_vs_per_job:.2f}x, "
+        f"cache hit rate {stats.cache.hit_rate:.2f}, "
+        f"mean batch {stats.mean_batch_size:.1f}"
+    )
+
+    payload = {
+        "workload": {
+            "pairs": len(jobs),
+            "xdrop": args.xdrop,
+            "rng_seed": args.seed,
+            "cells": direct.summary.cells,
+            "smoke": args.smoke,
+        },
+        "service_config": {
+            "batch_size": args.batch_size,
+            "workers": args.workers,
+            "bin_width": 500,
+        },
+        "rows": rows,
+        "service_speedup_vs_per_job": speedup_vs_per_job,
+    }
+    if not args.smoke:
+        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {OUTPUT}")
+
+    failed = False
+    if service_scores != direct.scores() or resubmit_scores != direct.scores():
+        print("FAIL: service scores diverge from the direct batch call")
+        failed = True
+    if per_job_scores != direct.scores():
+        print("FAIL: per-job scores diverge from the direct batch call")
+        failed = True
+    if stats.cache.hit_rate <= 0:
+        print("FAIL: resubmission produced no cache hits")
+        failed = True
+    if stats.batches_formed < 1 or stats.mean_batch_size <= 1.0:
+        print("FAIL: the batcher never formed a multi-job batch")
+        failed = True
+    if not args.smoke and speedup_vs_per_job < 1.0:
+        print(
+            f"FAIL: service throughput {speedup_vs_per_job:.2f}x is below "
+            "per-job submission"
+        )
+        failed = True
+    if not failed:
+        print(
+            "OK: service matches the direct batch bit-for-bit and beats "
+            "per-job submission"
+            if not args.smoke
+            else "OK: service wiring (smoke) — parity and cache verified"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

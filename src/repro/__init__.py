@@ -19,6 +19,10 @@ pure Python/NumPy:
   CUDA hardware;
 * :mod:`repro.logan` — the LOGAN kernel/batch/host/multi-GPU layers built on
   the GPU model;
+* :mod:`repro.service` — the asynchronous alignment service: a bounded
+  submission queue, an adaptive length-binned batcher, a content-addressed
+  result cache and a load-balanced sharded worker pool over the engine
+  registry (:class:`repro.AlignmentService`);
 * :mod:`repro.bella` — the BELLA long-read overlapper substrate (k-mers,
   SpGEMM overlap detection, adaptive threshold, pipeline);
 * :mod:`repro.data` — FASTA/FASTQ I/O, synthetic genomes and long reads,
@@ -60,9 +64,10 @@ from .core import (
     xdrop_extend_batch,
     xdrop_extend_reference,
 )
-from .engine import get_engine, list_engines, register_engine
+from .engine import describe_engines, get_engine, list_engines, register_engine
+from .service import AlignmentService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -83,5 +88,7 @@ __all__ = [
     "extend_seed",
     "get_engine",
     "list_engines",
+    "describe_engines",
     "register_engine",
+    "AlignmentService",
 ]

@@ -141,6 +141,12 @@ class BellaPipeline:
         X-drop threshold handed to engines built by name (ignored when an
         *aligner* instance or engine instance is supplied — those carry
         their own threshold).
+    service:
+        An :class:`~repro.service.AlignmentService` to route stage-4
+        alignments through instead of a direct ``align_batch`` call: jobs
+        are submitted individually and gathered via :meth:`map`, so
+        repeated pipeline runs benefit from the service's result cache and
+        batching.  Mutually exclusive with *aligner* and *engine*.
     """
 
     def __init__(
@@ -157,12 +163,17 @@ class BellaPipeline:
         min_overlap: int = 500,
         engine: str | BatchAlignerProtocol | None = None,
         xdrop: int = 100,
+        service=None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError("k must be positive")
         if aligner is not None and engine is not None:
             raise ConfigurationError(
                 "pass either an aligner instance or an engine, not both"
+            )
+        if service is not None and (aligner is not None or engine is not None):
+            raise ConfigurationError(
+                "pass either a service or an aligner/engine, not both"
             )
         self.k = int(k)
         self.reliable_lower = int(reliable_lower)
@@ -176,6 +187,7 @@ class BellaPipeline:
         )
         self._aligner = aligner
         self._engine = engine
+        self._service = service
 
     # ------------------------------------------------------------------ #
     @property
@@ -223,9 +235,15 @@ class BellaPipeline:
 
         if jobs:
             with timer.stage("alignment"):
-                batch = self.aligner.align_batch(jobs)
-            results = list(batch.results)
-            modeled = getattr(batch, "modeled_seconds", None)
+                if self._service is not None:
+                    # Service-backed path: per-job submission; the service
+                    # batches, caches and shards behind the scenes.
+                    results = self._service.map(jobs)
+                    modeled = None
+                else:
+                    batch = self.aligner.align_batch(jobs)
+                    results = list(batch.results)
+                    modeled = getattr(batch, "modeled_seconds", None)
         else:
             results = []
             modeled = 0.0

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three console scripts are installed with the package:
+Four console scripts are installed with the package:
 
 ``repro-align``
     Align a synthetic benchmark pair set (or two FASTA files) with LOGAN and
@@ -14,6 +14,14 @@ Three console scripts are installed with the package:
 ``repro-bench``
     Regenerate one of the paper's tables/figures from the benchmark harness
     without going through pytest (useful for quick sweeps).
+
+``repro-service``
+    Drive the asynchronous alignment service: ``serve`` runs a workload
+    through the queue/batcher/cache/worker stack and reports service stats;
+    ``submit`` aligns ad-hoc pairs through a short-lived service.
+
+Every entry point accepts ``--list-engines`` to print the registered
+alignment engines (name, exactness, summary) and exit.
 """
 
 from __future__ import annotations
@@ -30,11 +38,32 @@ from .bella import BellaPipeline
 from .core import ScoringScheme, Seed, encode
 from .core.job import AlignmentJob
 from .data import PairSetSpec, generate_pair_set, load_dataset, read_fasta
-from .engine import get_engine, list_engines
+from .engine import describe_engines, get_engine, list_engines
 from .gpusim import MultiGpuSystem
 from .logan import LoganAligner
 
-__all__ = ["main_align", "main_bella", "main_bench"]
+__all__ = ["main_align", "main_bella", "main_bench", "main_service"]
+
+
+class _ListEnginesAction(argparse.Action):
+    """``--list-engines``: print the engine registry and exit (like --help)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        for row in describe_engines():
+            exact = {True: "exact", False: "inexact", None: "?"}[row["exact"]]
+            print(f"{row['name']:>12s}  {exact:<8s} {row['summary']}")
+        parser.exit(0)
+
+
+def _add_engine_discovery(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--list-engines",
+        action=_ListEnginesAction,
+        help="list registered alignment engines and exit",
+    )
 
 
 def _build_engine(name: str, scoring: ScoringScheme, args: argparse.Namespace):
@@ -99,6 +128,7 @@ def main_align(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     _add_scoring_arguments(parser)
+    _add_engine_discovery(parser)
     args = parser.parse_args(argv)
 
     scoring = _scoring_from_args(args)
@@ -230,6 +260,7 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--min-overlap", type=int, default=500)
     parser.add_argument("--json", action="store_true")
     _add_scoring_arguments(parser)
+    _add_engine_discovery(parser)
     args = parser.parse_args(argv)
 
     scoring = _scoring_from_args(args)
@@ -319,6 +350,7 @@ def main_bench(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="restrict the 'engines' experiment to these engines (repeatable)",
     )
+    _add_engine_discovery(parser)
     args = parser.parse_args(argv)
 
     # The benchmark harness lives next to the repository (benchmarks/), not
@@ -341,6 +373,209 @@ def main_bench(argv: Sequence[str] | None = None) -> int:
     else:
         table = harness.run_experiment(args.experiment, scale=args.scale)
     print(table.formatted())
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-service
+# --------------------------------------------------------------------------- #
+def _service_from_args(args: argparse.Namespace, scoring: ScoringScheme):
+    """Build an :class:`AlignmentService` from shared CLI arguments."""
+    from .service import AlignmentService, BatchPolicy
+
+    return AlignmentService(
+        engine=args.engine,
+        scoring=scoring,
+        xdrop=args.xdrop,
+        num_workers=args.workers,
+        policy=BatchPolicy(
+            max_batch_size=args.batch_size,
+            max_wait_seconds=args.max_wait,
+            bin_width=args.bin_width,
+        ),
+        cache_capacity=args.cache_capacity,
+        queue_capacity=args.queue_capacity,
+    )
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=list_engines(),
+        default="batched",
+        help="alignment engine backing the service (default: batched)",
+    )
+    parser.add_argument("--xdrop", "-x", type=int, default=100)
+    parser.add_argument("--workers", type=int, default=1, help="worker shards")
+    parser.add_argument(
+        "--batch-size", type=int, default=64, help="engine-sized batch (flush bound)"
+    )
+    parser.add_argument(
+        "--max-wait", type=float, default=0.05, help="max seconds a job may wait"
+    )
+    parser.add_argument(
+        "--bin-width", type=int, default=500, help="length-bin width in bases"
+    )
+    parser.add_argument("--cache-capacity", type=int, default=4096)
+    parser.add_argument("--queue-capacity", type=int, default=1024)
+    parser.add_argument("--json", action="store_true")
+    _add_scoring_arguments(parser)
+
+
+def main_service(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-service``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Asynchronous alignment service (queue -> batcher -> cache -> workers).",
+    )
+    _add_engine_discovery(parser)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a workload through the live service and report stats",
+        description=(
+            "Submit a synthetic pair set (or two FASTA files) to the service "
+            "one job at a time, let the batcher/cache/worker stack align it, "
+            "and print the service statistics."
+        ),
+    )
+    serve.add_argument("--pairs", type=int, default=200, help="synthetic pairs")
+    serve.add_argument("--min-length", type=int, default=500)
+    serve.add_argument("--max-length", type=int, default=1500)
+    serve.add_argument("--error-rate", type=float, default=0.15)
+    serve.add_argument("--seed", type=int, default=2020)
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="submission rounds of the same workload (>=2 exercises the cache)",
+    )
+    serve.add_argument(
+        "--query-fasta", type=str, default=None, help="serve records of this FASTA"
+    )
+    serve.add_argument(
+        "--target-fasta", type=str, default=None, help="against records of this FASTA"
+    )
+    serve.add_argument(
+        "--inline",
+        action="store_true",
+        help="process on drain instead of a background thread (deterministic)",
+    )
+    _add_service_arguments(serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="align ad-hoc pairs through a short-lived service",
+        description=(
+            "Align literal sequences (--query/--target) or paired FASTA "
+            "records through a one-shot service and print the scores."
+        ),
+    )
+    submit.add_argument("--query", type=str, default=None, help="literal query sequence")
+    submit.add_argument("--target", type=str, default=None, help="literal target sequence")
+    submit.add_argument("--query-fasta", type=str, default=None)
+    submit.add_argument("--target-fasta", type=str, default=None)
+    _add_service_arguments(submit)
+
+    args = parser.parse_args(argv)
+    scoring = _scoring_from_args(args)
+    if args.command == "serve":
+        return _run_serve(args, scoring, parser)
+    return _run_submit(args, scoring, parser)
+
+
+def _fasta_jobs(parser, query_fasta: str, target_fasta: str) -> list[AlignmentJob]:
+    queries = [r.sequence for r in read_fasta(query_fasta)]
+    targets = [r.sequence for r in read_fasta(target_fasta)]
+    if len(queries) != len(targets):
+        parser.error("query and target FASTA files must have the same record count")
+    return [
+        AlignmentJob(query=encode(q), target=encode(t), seed=Seed(0, 0, 1), pair_id=i)
+        for i, (q, t) in enumerate(zip(queries, targets))
+    ]
+
+
+def _run_serve(args, scoring: ScoringScheme, parser) -> int:
+    from .perf.timers import Timer
+
+    if args.query_fasta and args.target_fasta:
+        jobs = _fasta_jobs(parser, args.query_fasta, args.target_fasta)
+    else:
+        jobs = generate_pair_set(
+            PairSetSpec(
+                num_pairs=args.pairs,
+                min_length=args.min_length,
+                max_length=args.max_length,
+                pairwise_error_rate=args.error_rate,
+                seed_placement="middle",
+                rng_seed=args.seed,
+            )
+        )
+
+    service = _service_from_args(args, scoring)
+    if not args.inline:
+        service.start()
+    timer = Timer()
+    with timer:
+        rounds = []
+        for _ in range(max(1, args.repeat)):
+            tickets = service.submit_many(jobs)
+            service.drain()
+            rounds.append([t.result(timeout=60.0).score for t in tickets])
+    stats = service.stats()
+    service.shutdown()
+
+    payload = {
+        "command": "serve",
+        "engine": args.engine,
+        "pairs": len(jobs),
+        "rounds": len(rounds),
+        "wall_seconds": timer.elapsed,
+        "mean_score": float(np.mean(rounds[0])) if rounds and rounds[0] else 0.0,
+        "rounds_identical": all(r == rounds[0] for r in rounds),
+        **stats.to_dict(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>20s}: {value}")
+    return 0
+
+
+def _run_submit(args, scoring: ScoringScheme, parser) -> int:
+    if args.query and args.target:
+        jobs = [
+            AlignmentJob(
+                query=encode(args.query),
+                target=encode(args.target),
+                seed=Seed(0, 0, 1),
+            )
+        ]
+    elif args.query_fasta and args.target_fasta:
+        jobs = _fasta_jobs(parser, args.query_fasta, args.target_fasta)
+    else:
+        parser.error("submit needs --query/--target or --query-fasta/--target-fasta")
+
+    with _service_from_args(args, scoring) as service:
+        tickets = service.submit_many(jobs)
+        service.drain()
+        results = [t.result(timeout=60.0) for t in tickets]
+
+    payload = {
+        "command": "submit",
+        "engine": args.engine,
+        "pairs": len(jobs),
+        "scores": [r.score for r in results],
+        "query_extents": [[r.query_begin, r.query_end] for r in results],
+        "target_extents": [[r.target_begin, r.target_end] for r in results],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>20s}: {value}")
     return 0
 
 

@@ -18,6 +18,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..perf.metrics import gcups as _gcups
 from .encoding import encode
 from .result import SeedAlignmentResult
 from .seed_extend import Seed
@@ -126,10 +127,13 @@ class BatchWorkSummary:
         )
 
     def gcups(self, seconds: float) -> float:
-        """Giga cell updates per second for this work executed in *seconds*."""
-        if seconds <= 0:
-            return float("inf")
-        return self.cells / seconds / 1e9
+        """Giga cell updates per second for this work executed in *seconds*.
+
+        Delegates to :func:`repro.perf.metrics.gcups` (one clamp rule for
+        the whole library: degenerate durations return ``0.0``, never
+        ``inf``, so serialised reports stay valid JSON).
+        """
+        return _gcups(self.cells, seconds)
 
 
 def summarize_results(results: Iterable[SeedAlignmentResult]) -> BatchWorkSummary:

@@ -17,6 +17,7 @@ See :mod:`repro.engine.base` for the protocol/registry and
 from .base import (
     AlignmentEngine,
     EngineBatchResult,
+    describe_engines,
     get_engine,
     list_engines,
     register_engine,
@@ -38,6 +39,7 @@ __all__ = [
     "unregister_engine",
     "get_engine",
     "list_engines",
+    "describe_engines",
     "ReferenceEngine",
     "VectorizedEngine",
     "BatchedEngine",

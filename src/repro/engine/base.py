@@ -19,6 +19,7 @@ pick it up automatically via :func:`list_engines`.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
@@ -34,6 +35,7 @@ __all__ = [
     "unregister_engine",
     "get_engine",
     "list_engines",
+    "describe_engines",
 ]
 
 
@@ -147,3 +149,25 @@ def get_engine(name: str, **options: Any) -> AlignmentEngine:
 def list_engines() -> list[str]:
     """Sorted names of every registered engine."""
     return sorted(_REGISTRY)
+
+
+def describe_engines() -> list[dict[str, Any]]:
+    """One description row per registered engine, for CLI discovery.
+
+    Each row carries the registered ``name``, the factory's ``exact`` flag
+    (``None`` when the factory does not declare one, e.g. a plain callable)
+    and the first line of its docstring as a human-readable ``summary``.
+    Introspection only — no engine is instantiated.
+    """
+    rows: list[dict[str, Any]] = []
+    for name in list_engines():
+        factory = _REGISTRY[name]
+        doc = inspect.getdoc(factory) or ""
+        rows.append(
+            {
+                "name": name,
+                "exact": getattr(factory, "exact", None),
+                "summary": doc.splitlines()[0] if doc else "",
+            }
+        )
+    return rows

@@ -51,3 +51,11 @@ class ResourceModelError(ReproError):
 
 class DatasetError(ReproError):
     """Raised for malformed FASTA/FASTQ input or impossible dataset presets."""
+
+
+class ServiceError(ReproError):
+    """Raised by the asynchronous alignment service.
+
+    Typical causes: submitting to a service that has been shut down, or a
+    bounded submission queue staying full past the backpressure timeout.
+    """

@@ -51,6 +51,10 @@ class DeviceAssignment:
         """Number of jobs assigned to this device."""
         return len(self.job_indices)
 
+    def take(self, jobs: Sequence[AlignmentJob]) -> list[AlignmentJob]:
+        """Materialise the assigned jobs from the original batch."""
+        return [jobs[i] for i in self.job_indices]
+
 
 class LoadBalancer:
     """Splits a batch of alignment jobs across GPU devices.

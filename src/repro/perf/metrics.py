@@ -11,6 +11,7 @@ rows as the paper's tables.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -20,18 +21,28 @@ __all__ = ["gcups", "speedup", "BenchRow", "BenchTable"]
 def gcups(cells: int, seconds: float) -> float:
     """Giga cell updates per second.
 
-    Returns ``inf`` for non-positive durations so degenerate timings are
-    visible rather than raising inside a benchmark loop.
+    Returns the ``0.0`` sentinel for non-positive durations: a degenerate
+    timing must not inflate a throughput claim, and ``inf`` would poison
+    downstream :func:`speedup` arithmetic and JSON serialisation (``inf``
+    is not valid JSON).  The sentinel is deliberately finite, so a caller
+    that wants a report row flagged must say so —
+    ``table.add_row(x, degenerate=seconds <= 0, ...)``; non-finite values
+    reaching :meth:`BenchTable.add_row` from other sources are flagged
+    automatically.
     """
     if seconds <= 0:
-        return float("inf")
+        return 0.0
     return cells / seconds / 1e9
 
 
 def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
-    """Baseline time divided by accelerated time (``> 1`` means faster)."""
+    """Baseline time divided by accelerated time (``> 1`` means faster).
+
+    A non-positive accelerated time is degenerate; it clamps to ``0.0`` (see
+    :func:`gcups`) instead of returning ``inf``.
+    """
     if accelerated_seconds <= 0:
-        return float("inf")
+        return 0.0
     return baseline_seconds / accelerated_seconds
 
 
@@ -47,10 +58,15 @@ class BenchRow:
     values:
         Column name -> value (seconds, GCUPS or speed-up, as labelled by the
         owning table).
+    degenerate:
+        True when any value of the row came from a degenerate measurement
+        (non-finite, e.g. a zero-duration timing); set automatically by
+        :meth:`BenchTable.add_row`.
     """
 
     parameter: float
     values: dict[str, float] = field(default_factory=dict)
+    degenerate: bool = False
 
     def formatted(self, columns: Sequence[str], width: int = 14) -> str:
         """Fixed-width text rendering of the row for the given column order."""
@@ -76,12 +92,23 @@ class BenchTable:
     rows: list[BenchRow] = field(default_factory=list)
     notes: str = ""
 
-    def add_row(self, parameter: float, **values: float) -> BenchRow:
-        """Append a row; unknown columns are added to the column list."""
+    def add_row(
+        self, parameter: float, degenerate: bool = False, **values: float
+    ) -> BenchRow:
+        """Append a row; unknown columns are added to the column list.
+
+        Rows containing a non-finite value (NaN/inf from a degenerate
+        measurement) are flagged ``degenerate`` automatically; pass
+        ``degenerate=True`` to flag a row whose values are finite sentinels
+        (e.g. the ``0.0`` that :func:`gcups` returns for a zero duration).
+        """
         for key in values:
             if key not in self.columns:
                 self.columns.append(key)
-        row = BenchRow(parameter=parameter, values=dict(values))
+        degenerate = degenerate or any(
+            not math.isfinite(v) for v in values.values()
+        )
+        row = BenchRow(parameter=parameter, values=dict(values), degenerate=degenerate)
         self.rows.append(row)
         return row
 
@@ -101,21 +128,35 @@ class BenchTable:
         return "\n".join(lines)
 
     def to_json(self) -> str:
-        """JSON representation (used to archive benchmark outputs)."""
+        """JSON representation (used to archive benchmark outputs).
+
+        Non-finite values serialise as ``null`` so the output is strict JSON
+        (``json.dumps`` would otherwise emit the invalid literals
+        ``Infinity``/``NaN``); degenerate rows carry ``"degenerate": true``.
+        """
+
+        def _finite(value: float):
+            return value if math.isfinite(value) else None
+
+        rows = []
+        for row in self.rows:
+            entry = {"parameter": row.parameter}
+            entry.update({k: _finite(v) for k, v in row.values.items()})
+            if row.degenerate:
+                entry["degenerate"] = True
+            rows.append(entry)
         payload = {
             "title": self.title,
             "parameter_name": self.parameter_name,
             "columns": self.columns,
-            "rows": [
-                {"parameter": row.parameter, **row.values} for row in self.rows
-            ],
+            "rows": rows,
             "notes": self.notes,
         }
-        return json.dumps(payload, indent=2)
+        return json.dumps(payload, indent=2, allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "BenchTable":
-        """Rebuild a table from :meth:`to_json` output."""
+        """Rebuild a table from :meth:`to_json` output (null -> NaN)."""
         payload = json.loads(text)
         table = cls(
             title=payload["title"],
@@ -125,5 +166,11 @@ class BenchTable:
         )
         for row in payload["rows"]:
             parameter = row.pop("parameter")
-            table.rows.append(BenchRow(parameter=parameter, values=row))
+            degenerate = bool(row.pop("degenerate", False))
+            values = {
+                k: (float("nan") if v is None else v) for k, v in row.items()
+            }
+            table.rows.append(
+                BenchRow(parameter=parameter, values=values, degenerate=degenerate)
+            )
         return table

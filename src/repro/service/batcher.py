@@ -1,0 +1,165 @@
+"""Adaptive batch former: coalesce single submissions into engine-sized batches.
+
+The inter-sequence batched kernel pads every extension in a batch to a
+common anti-diagonal grid, so a batch of wildly different lengths wastes
+cells on padding.  The batcher therefore groups pending jobs by *length
+bin* (reusing :func:`repro.bella.binning.length_bin`, the same
+``floor_divide`` edges BELLA's diagonal binning uses) and flushes a bin
+when either
+
+* it reaches ``max_batch_size`` jobs (the engine-sized batch), or
+* its oldest job has waited ``max_wait_seconds`` (latency bound), or
+* the service drains (shutdown / explicit flush).
+
+This is the host-side batching of the paper's Section IV recast as a
+serving policy: individually submitted requests amortise into the same
+device-sized batches the offline pipeline builds up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bella.binning import length_bin
+from ..errors import ServiceError
+from .queue import AlignmentTicket
+
+__all__ = ["BatchPolicy", "FormedBatch", "AdaptiveBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the adaptive batch former.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Flush a bin as soon as it holds this many jobs.
+    max_wait_seconds:
+        Flush a bin once its oldest job has waited this long, even if the
+        bin is not full (bounds per-request latency under light traffic).
+    bin_width:
+        Length-bin width in bases; jobs whose ``query + target`` length
+        falls in the same bin batch together.  ``0`` disables binning
+        (everything shares one bin).
+    """
+
+    max_batch_size: int = 64
+    max_wait_seconds: float = 0.05
+    bin_width: int = 500
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ServiceError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if self.max_wait_seconds < 0:
+            raise ServiceError("max_wait_seconds must be non-negative")
+        if self.bin_width < 0:
+            raise ServiceError("bin_width must be non-negative")
+
+
+@dataclass
+class FormedBatch:
+    """One batch the batcher decided to flush.
+
+    Attributes
+    ----------
+    tickets:
+        The member tickets, in submission order.
+    length_bin:
+        The bin the batch was formed from.
+    reason:
+        Why it flushed: ``"size"``, ``"wait"`` or ``"drain"``.
+    """
+
+    tickets: list[AlignmentTicket]
+    length_bin: int
+    reason: str
+
+    @property
+    def size(self) -> int:
+        """Number of jobs in the batch."""
+        return len(self.tickets)
+
+    def jobs(self) -> list:
+        """The member jobs, in submission order."""
+        return [t.job for t in self.tickets]
+
+
+@dataclass
+class _Bin:
+    tickets: list[AlignmentTicket] = field(default_factory=list)
+    oldest_arrival: float = 0.0
+
+
+class AdaptiveBatcher:
+    """Groups pending tickets into length bins and decides when to flush."""
+
+    def __init__(self, policy: BatchPolicy | None = None) -> None:
+        self.policy = policy or BatchPolicy()
+        self._bins: dict[int, _Bin] = {}
+        self.batches_formed = 0
+        self.flush_reasons: dict[str, int] = {"size": 0, "wait": 0, "drain": 0}
+
+    @property
+    def pending(self) -> int:
+        """Number of tickets waiting in the bins."""
+        return sum(len(b.tickets) for b in self._bins.values())
+
+    def _bin_of(self, ticket: AlignmentTicket) -> int:
+        if self.policy.bin_width == 0:
+            return 0
+        job = ticket.job
+        return length_bin(
+            job.query_length + job.target_length, self.policy.bin_width
+        )
+
+    def add(self, ticket: AlignmentTicket, now: float) -> FormedBatch | None:
+        """Admit one ticket; return a batch iff its bin just filled up."""
+        index = self._bin_of(ticket)
+        bucket = self._bins.get(index)
+        if bucket is None:
+            bucket = self._bins[index] = _Bin(oldest_arrival=now)
+        elif not bucket.tickets:
+            bucket.oldest_arrival = now
+        bucket.tickets.append(ticket)
+        if len(bucket.tickets) >= self.policy.max_batch_size:
+            return self._flush_bin(index, "size")
+        return None
+
+    def due(self, now: float) -> list[FormedBatch]:
+        """Batches whose oldest member has exceeded the wait bound."""
+        formed = []
+        for index in list(self._bins):
+            bucket = self._bins[index]
+            if (
+                bucket.tickets
+                and now - bucket.oldest_arrival >= self.policy.max_wait_seconds
+            ):
+                formed.append(self._flush_bin(index, "wait"))
+        return formed
+
+    def next_deadline(self, now: float) -> float | None:
+        """Seconds until the earliest wait-bound flush (None when empty)."""
+        arrivals = [
+            b.oldest_arrival for b in self._bins.values() if b.tickets
+        ]
+        if not arrivals:
+            return None
+        return max(0.0, min(arrivals) + self.policy.max_wait_seconds - now)
+
+    def flush_all(self) -> list[FormedBatch]:
+        """Flush every non-empty bin (drain / shutdown path)."""
+        formed = [
+            self._flush_bin(index, "drain")
+            for index in list(self._bins)
+            if self._bins[index].tickets
+        ]
+        return formed
+
+    def _flush_bin(self, index: int, reason: str) -> FormedBatch:
+        bucket = self._bins.pop(index)
+        self.batches_formed += 1
+        self.flush_reasons[reason] += 1
+        return FormedBatch(tickets=bucket.tickets, length_bin=index, reason=reason)

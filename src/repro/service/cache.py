@@ -1,0 +1,135 @@
+"""Content-addressed LRU result cache of the alignment service.
+
+Alignment is a pure function of ``(query, target, seed, scoring, xdrop)``,
+so repeated submissions of the same pair — common when an overlapper
+re-examines candidate pairs, or when many clients ask about the same hot
+reads — can be answered from a cache without touching an engine.  The key
+is *content-addressed*: sequences are hashed from their encoded bytes, so
+two :class:`~repro.core.job.AlignmentJob` objects holding equal sequences
+share one entry regardless of identity or ``pair_id``.
+
+Eviction is LRU over a bounded entry count; hit/miss/eviction counters feed
+the :class:`~repro.service.service.ServiceStats` snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..core.job import AlignmentJob
+from ..core.result import SeedAlignmentResult
+from ..core.scoring import ScoringScheme
+
+__all__ = ["CacheKey", "CacheStats", "ResultCache", "job_cache_key"]
+
+#: Hashable cache key: sequence digests + seed anchor + scoring + xdrop.
+CacheKey = tuple
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+def job_cache_key(
+    job: AlignmentJob, scoring: ScoringScheme, xdrop: int
+) -> CacheKey:
+    """Content-addressed key of one alignment request.
+
+    Everything the result depends on participates: the encoded sequence
+    bytes (digested), the seed anchor and the alignment parameters.
+    ``pair_id`` deliberately does not — it is routing metadata, not input.
+    """
+    seed = job.seed
+    return (
+        _digest(job.query.tobytes()),
+        _digest(job.target.tobytes()),
+        seed.query_pos,
+        seed.target_pos,
+        seed.length,
+        scoring.as_tuple(),
+        int(xdrop),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime activity."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ResultCache:
+    """Bounded LRU cache of :class:`SeedAlignmentResult` objects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries.  ``0`` disables the cache entirely
+        (every lookup misses, nothing is stored) — the service uses this to
+        turn caching off without branching at every call site.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[CacheKey, SeedAlignmentResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> SeedAlignmentResult | None:
+        """Look up *key*, refreshing its recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, result: SeedAlignmentResult) -> None:
+        """Store *result* under *key*, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )

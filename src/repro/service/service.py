@@ -1,0 +1,346 @@
+"""The :class:`AlignmentService` facade: queue -> cache -> batcher -> workers.
+
+The serving layer turns the library's batch engines into a front door for
+individually submitted alignment requests:
+
+1. ``submit`` computes the content-addressed cache key; a hit resolves the
+   ticket immediately, a miss enqueues it on the bounded submission queue
+   (backpressure);
+2. the processing loop feeds tickets into the adaptive batcher, which
+   coalesces them into length-binned, engine-sized batches;
+3. formed batches run on the sharded worker pool (load-balanced by
+   estimated DP cells, the paper's host-side policy), results are scattered
+   back to the tickets and inserted into the cache.
+
+The service runs in two modes.  *Inline* (default): nothing happens until
+:meth:`drain`, which processes everything synchronously — deterministic,
+the mode tests and the BELLA pipeline use.  *Background*: :meth:`start`
+spawns a daemon thread that forms and dispatches batches as requests
+arrive, flushing partially filled bins after the policy's max-wait —
+the live-serving mode of the ``repro-service`` CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.job import AlignmentJob
+from ..core.result import SeedAlignmentResult
+from ..core.scoring import ScoringScheme
+from ..engine import get_engine
+from ..engine.base import AlignmentEngine
+from ..errors import ServiceError
+from ..perf.metrics import gcups
+from .batcher import AdaptiveBatcher, BatchPolicy, FormedBatch
+from .cache import CacheStats, ResultCache, job_cache_key
+from .queue import AlignmentTicket, SubmissionQueue
+from .workers import ShardedWorkerPool, WorkerStats
+
+__all__ = ["ServiceStats", "AlignmentService"]
+
+
+@dataclass
+class ServiceStats:
+    """Point-in-time snapshot of a service's counters.
+
+    Attributes
+    ----------
+    submitted, completed:
+        Jobs accepted / jobs resolved (cache hits count as both).
+    queue_depth, batcher_pending:
+        Work currently waiting in the queue / in the batcher bins.
+    batches_formed:
+        Batches the batcher has flushed, by any reason.
+    flush_reasons:
+        Breakdown of flushes: ``size`` / ``wait`` / ``drain``.
+    cache:
+        Cache counters (hits, misses, evictions, hit rate).
+    cells, busy_seconds, throughput_gcups:
+        Total aligned DP cells, wall-clock spent inside worker batches, and
+        the resulting GCUPS (0.0 before any work ran).
+    workers:
+        Per-shard accounting (batches, jobs, cells, seconds).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    queue_depth: int = 0
+    batcher_pending: int = 0
+    batches_formed: int = 0
+    flush_reasons: dict = field(default_factory=dict)
+    cache: CacheStats = field(default_factory=CacheStats)
+    cells: int = 0
+    busy_seconds: float = 0.0
+    throughput_gcups: float = 0.0
+    workers: list[WorkerStats] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean jobs per formed batch (0.0 before the first batch)."""
+        aligned = self.completed - self.cache.hits
+        if self.batches_formed == 0:
+            return 0.0
+        return aligned / self.batches_formed
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the CLI and benchmarks)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "queue_depth": self.queue_depth,
+            "batcher_pending": self.batcher_pending,
+            "batches_formed": self.batches_formed,
+            "mean_batch_size": self.mean_batch_size,
+            "flush_reasons": dict(self.flush_reasons),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_evictions": self.cache.evictions,
+            "cache_hit_rate": self.cache.hit_rate,
+            "cells": self.cells,
+            "busy_seconds": self.busy_seconds,
+            "throughput_gcups": self.throughput_gcups,
+            "workers": [
+                {
+                    "worker": w.worker_index,
+                    "batches": w.batches,
+                    "jobs": w.jobs,
+                    "cells": w.cells,
+                    "seconds": w.seconds,
+                }
+                for w in self.workers
+            ],
+        }
+
+
+class AlignmentService:
+    """Asynchronous batch-alignment service over the engine registry.
+
+    Parameters
+    ----------
+    engine:
+        Registered engine name (built with *scoring*/*xdrop*) or a
+        ready-made engine instance.
+    scoring, xdrop:
+        Alignment parameters; also part of every cache key.
+    num_workers:
+        Worker shards of the pool (load-balanced by estimated cells).
+    policy:
+        The :class:`BatchPolicy` of the adaptive batcher.
+    cache_capacity:
+        LRU result-cache entries (0 disables caching).
+    queue_capacity:
+        Bound of the submission queue (backpressure limit).
+    worker_policy:
+        Load-balancing policy of the pool, ``"cells"`` or ``"count"``.
+    submit_timeout:
+        Seconds ``submit`` may block on a full queue before raising.
+    """
+
+    def __init__(
+        self,
+        engine: str | AlignmentEngine = "batched",
+        scoring: ScoringScheme | None = None,
+        xdrop: int = 100,
+        *,
+        num_workers: int = 1,
+        policy: BatchPolicy | None = None,
+        cache_capacity: int = 4096,
+        queue_capacity: int = 1024,
+        worker_policy: str = "cells",
+        submit_timeout: float = 5.0,
+    ) -> None:
+        self.scoring = scoring if scoring is not None else ScoringScheme()
+        self.xdrop = int(xdrop)
+        if isinstance(engine, str):
+            engine = get_engine(engine, scoring=self.scoring, xdrop=self.xdrop)
+        self.engine = engine
+        self.policy = policy or BatchPolicy()
+        self.queue = SubmissionQueue(capacity=queue_capacity)
+        self.batcher = AdaptiveBatcher(self.policy)
+        self.cache = ResultCache(capacity=cache_capacity)
+        self.pool = ShardedWorkerPool(
+            engine=self.engine,
+            num_workers=num_workers,
+            policy=worker_policy,
+            xdrop=self.xdrop,
+        )
+        self.submit_timeout = submit_timeout
+        self._lock = threading.RLock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._shutdown = False
+        self._submitted = 0
+        self._completed = 0
+        self._cells = 0
+        self._busy_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Submission side.
+    def submit(self, job: AlignmentJob) -> AlignmentTicket:
+        """Accept one job; returns a ticket immediately.
+
+        Cache hits resolve the ticket before it returns.  Misses enqueue
+        it: in background mode a full queue blocks the caller
+        (backpressure) and raises :class:`ServiceError` after
+        ``submit_timeout``; in inline mode — where nothing else could ever
+        empty the queue — a full queue triggers a synchronous
+        :meth:`drain` instead, so any number of submissions succeeds.
+        """
+        if self._shutdown:
+            raise ServiceError("service has been shut down")
+        key = job_cache_key(job, self.scoring, self.xdrop)
+        ticket = AlignmentTicket(job, cache_key=key)
+        # The cache and counters are shared with the background loop's
+        # _dispatch; all access goes through the service lock.
+        with self._lock:
+            self._submitted += 1
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._completed += 1
+        if cached is not None:
+            ticket.resolve(cached, cache_hit=True)
+            return ticket
+        if not self.running and self.queue.depth >= self.queue.capacity:
+            self.drain()
+        self.queue.put(ticket, timeout=self.submit_timeout)
+        return ticket
+
+    def submit_many(self, jobs: Iterable[AlignmentJob]) -> list[AlignmentTicket]:
+        """Submit an iterable of jobs, one ticket each."""
+        return [self.submit(job) for job in jobs]
+
+    def map(self, jobs: Sequence[AlignmentJob]) -> list[SeedAlignmentResult]:
+        """Submit, drain, and return results in submission order.
+
+        The synchronous convenience used by the BELLA pipeline's
+        service-backed path.
+        """
+        tickets = self.submit_many(jobs)
+        self.drain()
+        return [t.result(timeout=60.0) for t in tickets]
+
+    # ------------------------------------------------------------------ #
+    # Processing side.
+    def _dispatch(self, batch: FormedBatch) -> None:
+        """Run one formed batch on the pool and resolve its tickets."""
+        try:
+            run = self.pool.run_batch(batch.jobs())
+        except Exception as error:  # pragma: no cover - engine failure path
+            for ticket in batch.tickets:
+                ticket.fail(error)
+            return
+        with self._lock:
+            self._cells += run.summary.cells
+            self._busy_seconds += run.elapsed_seconds
+            self._completed += batch.size
+            for ticket, result in zip(batch.tickets, run.results):
+                self.cache.put(ticket.cache_key, result)
+        for ticket, result in zip(batch.tickets, run.results):
+            ticket.resolve(result, cache_hit=False, batch_size=batch.size)
+
+    def _pump(self, now: float) -> list[FormedBatch]:
+        """Move queued tickets into the batcher; collect full batches."""
+        formed: list[FormedBatch] = []
+        for ticket in self.queue.pop(max_items=self.queue.capacity):
+            full = self.batcher.add(ticket, now)
+            if full is not None:
+                formed.append(full)
+        return formed
+
+    def drain(self) -> int:
+        """Synchronously process everything queued; returns jobs aligned.
+
+        Safe to call whether or not the background thread is running (the
+        loop and ``drain`` serialise on one lock).
+        """
+        aligned = 0
+        with self._lock:
+            while True:
+                batches = self._pump(time.monotonic())
+                batches.extend(self.batcher.flush_all())
+                if not batches:
+                    break
+                for batch in batches:
+                    self._dispatch(batch)
+                    aligned += batch.size
+        return aligned
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    def start(self) -> "AlignmentService":
+        """Start the background processing thread (idempotent)."""
+        if self._shutdown:
+            raise ServiceError("service has been shut down")
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="alignment-service", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        poll = max(self.policy.max_wait_seconds / 4, 0.001)
+        while not self._stop.is_set():
+            with self._lock:
+                now = time.monotonic()
+                batches = self._pump(now)
+                batches.extend(self.batcher.due(now))
+                for batch in batches:
+                    self._dispatch(batch)
+                deadline = self.batcher.next_deadline(time.monotonic())
+            wait = poll if deadline is None else max(min(deadline, poll), 0.001)
+            # Sleep on the queue so a fresh submission wakes the loop early.
+            if self.queue.depth == 0:
+                time.sleep(wait)
+
+    @property
+    def running(self) -> bool:
+        """True while the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the service; optionally align everything still pending."""
+        if self._shutdown:
+            return
+        if drain:
+            self.drain()
+        self._shutdown = True
+        self._stop.set()
+        self.queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if not drain:
+            for ticket in self.queue.pop(max_items=self.queue.capacity):
+                ticket.fail(ServiceError("service shut down before alignment"))
+            for batch in self.batcher.flush_all():
+                for ticket in batch.tickets:
+                    ticket.fail(ServiceError("service shut down before alignment"))
+
+    def __enter__(self) -> "AlignmentService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=exc_info[0] is None)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        """Snapshot of every counter (throughput via :func:`gcups`)."""
+        with self._lock:
+            return ServiceStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                queue_depth=self.queue.depth,
+                batcher_pending=self.batcher.pending,
+                batches_formed=self.batcher.batches_formed,
+                flush_reasons=dict(self.batcher.flush_reasons),
+                cache=self.cache.stats(),
+                cells=self._cells,
+                busy_seconds=self._busy_seconds,
+                throughput_gcups=gcups(self._cells, self._busy_seconds),
+                workers=list(self.pool.worker_stats),
+            )

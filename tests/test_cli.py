@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.cli import main_align, main_bella
+from repro.cli import main_align, main_bella, main_bench, main_service
 from repro.data import SequenceRecord, write_fasta
 
 
@@ -114,3 +114,91 @@ class TestReproBella:
         assert exit_code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["reads"] == 3
+
+
+class TestEngineDiscovery:
+    @pytest.mark.parametrize(
+        "entry", [main_align, main_bella, main_bench, main_service]
+    )
+    def test_list_engines_flag(self, entry, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            entry(["--list-engines"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("batched", "reference", "seqan", "ksw2", "logan"):
+            assert name in out
+        assert "inexact" in out  # ksw2's flag is rendered
+
+
+class TestReproService:
+    def test_serve_synthetic_json(self, capsys):
+        exit_code = main_service(
+            [
+                "serve",
+                "--pairs", "8",
+                "--min-length", "150",
+                "--max-length", "400",
+                "--xdrop", "15",
+                "--batch-size", "4",
+                "--repeat", "2",
+                "--inline",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pairs"] == 8
+        assert payload["rounds_identical"] is True
+        assert payload["batches_formed"] >= 1
+        # Round two is answered entirely from the cache.
+        assert payload["cache_hits"] == 8
+        assert payload["cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_serve_background_thread(self, capsys):
+        exit_code = main_service(
+            [
+                "serve",
+                "--pairs", "6",
+                "--min-length", "120",
+                "--max-length", "300",
+                "--xdrop", "15",
+                "--batch-size", "3",
+                "--max-wait", "0.01",
+                "--repeat", "1",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["completed"] == 6
+
+    def test_submit_literal_pair(self, capsys):
+        exit_code = main_service(
+            [
+                "submit",
+                "--query", "ACGTACGTACGTACGT",
+                "--target", "ACGTACGTACGTACGT",
+                "--xdrop", "10",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scores"] == [16]
+
+    def test_submit_fasta_pairs(self, tmp_path, capsys):
+        q = tmp_path / "q.fasta"
+        t = tmp_path / "t.fasta"
+        write_fasta(q, [SequenceRecord("a", "ACGTACGTACGTACGT" * 4)])
+        write_fasta(t, [SequenceRecord("b", "ACGTACGTACGTACGT" * 4)])
+        exit_code = main_service(
+            ["submit", "--query-fasta", str(q), "--target-fasta", str(t),
+             "--xdrop", "10", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scores"] == [64]
+
+    def test_submit_without_inputs_errors(self):
+        with pytest.raises(SystemExit):
+            main_service(["submit"])

@@ -102,3 +102,55 @@ class TestBalanceQuality:
         total = sum(a.estimated_cells for a in assignments)
         expected = sum(j.estimated_cells(10, 1) for j in jobs)
         assert total == expected
+
+
+class TestServiceFacingEdgeCases:
+    """Edge cases the serving layer's sharded worker pool now exercises."""
+
+    @pytest.mark.parametrize("policy", ["cells", "count"])
+    def test_empty_batch_every_policy(self, policy):
+        balancer = LoadBalancer(num_devices=3, policy=policy)
+        assignments = balancer.split([])
+        assert len(assignments) == 3
+        assert all(a.num_jobs == 0 and a.estimated_cells == 0 for a in assignments)
+        assert balancer.imbalance(assignments) == 1.0
+
+    @pytest.mark.parametrize("policy", ["cells", "count"])
+    @pytest.mark.parametrize("devices", [4, 7, 16])
+    def test_more_workers_than_jobs(self, policy, devices, rng):
+        jobs = _jobs_with_lengths([150, 300, 450], rng)
+        balancer = LoadBalancer(num_devices=devices, policy=policy, xdrop=25)
+        assignments = balancer.split(jobs)
+        seen = sorted(i for a in assignments for i in a.job_indices)
+        assert seen == list(range(len(jobs)))
+        # No worker receives more than one job when workers outnumber jobs.
+        assert max(a.num_jobs for a in assignments) == 1
+
+    def test_take_materialises_assigned_jobs(self, rng):
+        jobs = _jobs_with_lengths([100, 200, 300, 400], rng)
+        balancer = LoadBalancer(num_devices=2, xdrop=10)
+        assignments = balancer.split(jobs)
+        for assignment in assignments:
+            taken = assignment.take(jobs)
+            assert all(
+                taken[k] is jobs[i]
+                for k, i in enumerate(assignment.job_indices)
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_cells_never_worse_than_count_on_skewed_lengths(self, seed):
+        # Parity check backing the service's default "cells" policy: on
+        # skewed length distributions (a few huge jobs, many small ones),
+        # LPT-by-cells must never produce a worse max-shard than naive
+        # round-robin by count.
+        rng = np.random.default_rng(seed)
+        lengths = list(rng.integers(2000, 5000, size=3)) + list(
+            rng.integers(80, 300, size=29)
+        )
+        jobs = _jobs_with_lengths(lengths, rng)
+        for devices in (2, 4, 6):
+            smart = LoadBalancer(num_devices=devices, policy="cells", xdrop=500)
+            naive = LoadBalancer(num_devices=devices, policy="count", xdrop=500)
+            smart_max = max(a.estimated_cells for a in smart.split(jobs))
+            naive_max = max(a.estimated_cells for a in naive.split(jobs))
+            assert smart_max <= naive_max

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import math
 import time
 
 import pytest
@@ -61,11 +63,35 @@ class TestStageTimer:
 class TestMetrics:
     def test_gcups(self):
         assert gcups(2_000_000_000, 2.0) == pytest.approx(1.0)
-        assert gcups(1, 0.0) == float("inf")
 
     def test_speedup(self):
         assert speedup(10.0, 2.0) == pytest.approx(5.0)
-        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_degenerate_timings_clamp_to_zero(self):
+        # inf would poison downstream speedup arithmetic and is not valid
+        # JSON; degenerate timings must clamp instead.
+        assert gcups(1, 0.0) == 0.0
+        assert gcups(1, -1.0) == 0.0
+        assert speedup(10.0, 0.0) == 0.0
+
+    def test_degenerate_row_flag_and_json_null(self):
+        table = BenchTable(title="t", parameter_name="X", columns=[])
+        good = table.add_row(1, a=2.0)
+        bad = table.add_row(2, a=float("inf"), b=float("nan"))
+        assert not good.degenerate
+        assert bad.degenerate
+        # A finite sentinel (gcups' 0.0) needs the explicit flag.
+        flagged = table.add_row(3, degenerate=True, a=gcups(1, 0.0))
+        assert flagged.degenerate and flagged.values["a"] == 0.0
+        payload = json.loads(table.to_json())  # strict: would raise on inf
+        assert payload["rows"][1]["a"] is None
+        assert payload["rows"][1]["b"] is None
+        assert payload["rows"][1]["degenerate"] is True
+        assert "degenerate" not in payload["rows"][0]
+        rebuilt = BenchTable.from_json(table.to_json())
+        assert rebuilt.rows[1].degenerate
+        assert math.isnan(rebuilt.column("a")[1])
+        assert rebuilt.column("a")[0] == 2.0
 
     def test_bench_table_round_trip(self):
         table = BenchTable(title="Table II", parameter_name="X", columns=["seqan_s"])
@@ -82,8 +108,6 @@ class TestMetrics:
     def test_missing_column_is_nan(self):
         table = BenchTable(title="t", parameter_name="X", columns=["a", "b"])
         table.add_row(1, a=1.0)
-        import math
-
         assert math.isnan(table.column("b")[0])
 
 

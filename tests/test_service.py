@@ -1,0 +1,379 @@
+"""Tests of the asynchronous alignment service (repro.service).
+
+Covers each stage in isolation — cache, queue, batcher, worker pool — and
+the acceptance criterion end-to-end: jobs submitted individually through
+the service must produce results bit-identical to one direct
+``align_batch`` call on the batched engine, with real multi-job batches
+formed and cache hits on resubmission.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bella import BellaPipeline
+from repro.core import ScoringScheme, Seed
+from repro.core.job import AlignmentJob
+from repro.data import PairSetSpec, generate_pair_set
+from repro.engine import get_engine
+from repro.errors import ServiceError
+from repro.service import (
+    AdaptiveBatcher,
+    AlignmentService,
+    AlignmentTicket,
+    BatchPolicy,
+    ResultCache,
+    ShardedWorkerPool,
+    SubmissionQueue,
+    job_cache_key,
+)
+
+SCORING = ScoringScheme()
+
+
+def mixed_jobs(num_pairs=16, rng_seed=11, min_length=120, max_length=700):
+    """Deterministic mixed-length batch with mid-read seeds."""
+    return generate_pair_set(
+        PairSetSpec(
+            num_pairs=num_pairs,
+            min_length=min_length,
+            max_length=max_length,
+            pairwise_error_rate=0.15,
+            unrelated_fraction=0.2,
+            seed_placement="middle",
+            rng_seed=rng_seed,
+        )
+    )
+
+
+def tiny_job(text="ACGTACGTACGTACGT"):
+    return AlignmentJob(query=text, target=text, seed=Seed(0, 0, 4))
+
+
+class TestResultCache:
+    def test_key_is_content_addressed(self):
+        a = tiny_job()
+        b = tiny_job()  # equal content, different object / pair_id
+        b.pair_id = 99
+        assert job_cache_key(a, SCORING, 10) == job_cache_key(b, SCORING, 10)
+
+    def test_key_depends_on_parameters(self):
+        job = tiny_job()
+        base = job_cache_key(job, SCORING, 10)
+        assert job_cache_key(job, SCORING, 20) != base
+        assert job_cache_key(job, ScoringScheme(match=2), 10) != base
+        other = AlignmentJob(
+            query="ACGTACGTACGTACGT", target="ACGTACGTACGTACGT", seed=Seed(4, 4, 4)
+        )
+        assert job_cache_key(other, SCORING, 10) != base
+
+    def test_hit_miss_counters(self):
+        cache = ResultCache(capacity=4)
+        key = job_cache_key(tiny_job(), SCORING, 10)
+        assert cache.get(key) is None
+        cache.put(key, "result")
+        assert cache.get(key) == "result"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+
+class TestSubmissionQueue:
+    def test_fifo_order_and_depth(self):
+        queue = SubmissionQueue(capacity=8)
+        tickets = [AlignmentTicket(tiny_job()) for _ in range(3)]
+        queue.put_many(tickets)
+        assert queue.depth == 3
+        assert queue.pop(max_items=2) == tickets[:2]
+        assert queue.pop(max_items=5) == tickets[2:]
+        assert queue.pop() == []
+
+    def test_backpressure_timeout(self):
+        queue = SubmissionQueue(capacity=1)
+        queue.put(AlignmentTicket(tiny_job()))
+        with pytest.raises(ServiceError, match="backpressure"):
+            queue.put(AlignmentTicket(tiny_job()), timeout=0.05)
+
+    def test_blocked_put_resumes_after_pop(self):
+        queue = SubmissionQueue(capacity=1)
+        queue.put(AlignmentTicket(tiny_job()))
+        done = threading.Event()
+
+        def producer():
+            queue.put(AlignmentTicket(tiny_job()), timeout=5.0)
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.02)
+        assert not done.is_set()  # still blocked on the full queue
+        queue.pop()
+        assert done.wait(2.0)
+        thread.join(timeout=2.0)
+
+    def test_closed_queue_rejects(self):
+        queue = SubmissionQueue(capacity=2)
+        queue.close()
+        with pytest.raises(ServiceError, match="closed"):
+            queue.put(AlignmentTicket(tiny_job()))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ServiceError):
+            SubmissionQueue(capacity=0)
+
+
+class TestAdaptiveBatcher:
+    def _ticket(self, length):
+        seq = "ACGT" * (length // 4 + 1)
+        return AlignmentTicket(
+            AlignmentJob(query=seq[:length], target=seq[:length], seed=Seed(0, 0, 4))
+        )
+
+    def test_size_triggered_flush(self):
+        batcher = AdaptiveBatcher(BatchPolicy(max_batch_size=3, bin_width=0))
+        assert batcher.add(self._ticket(100), now=0.0) is None
+        assert batcher.add(self._ticket(100), now=0.0) is None
+        batch = batcher.add(self._ticket(100), now=0.0)
+        assert batch is not None and batch.size == 3 and batch.reason == "size"
+        assert batcher.pending == 0
+
+    def test_length_binning_separates_classes(self):
+        batcher = AdaptiveBatcher(BatchPolicy(max_batch_size=8, bin_width=500))
+        batcher.add(self._ticket(100), now=0.0)   # bin 0 (total 200)
+        batcher.add(self._ticket(400), now=0.0)   # bin 1 (total 800)
+        batches = batcher.flush_all()
+        assert len(batches) == 2
+        assert {b.reason for b in batches} == {"drain"}
+
+    def test_wait_triggered_flush(self):
+        batcher = AdaptiveBatcher(BatchPolicy(max_batch_size=8, max_wait_seconds=0.5))
+        batcher.add(self._ticket(100), now=10.0)
+        assert batcher.due(now=10.2) == []
+        assert batcher.next_deadline(now=10.2) == pytest.approx(0.3)
+        due = batcher.due(now=10.6)
+        assert len(due) == 1 and due[0].reason == "wait"
+        assert batcher.next_deadline(now=10.6) is None
+
+    def test_invalid_policy(self):
+        with pytest.raises(ServiceError):
+            BatchPolicy(max_batch_size=0)
+        with pytest.raises(ServiceError):
+            BatchPolicy(max_wait_seconds=-1.0)
+
+
+class TestShardedWorkerPool:
+    def test_results_stay_in_job_order(self):
+        jobs = mixed_jobs(num_pairs=10, rng_seed=5)
+        engine = get_engine("batched", scoring=SCORING, xdrop=30)
+        pool = ShardedWorkerPool(engine, num_workers=3, xdrop=30)
+        run = pool.run_batch(jobs)
+        direct = engine.align_batch(jobs)
+        assert [r.score for r in run.results] == direct.scores()
+        assert run.summary.cells == direct.summary.cells
+        assert run.shards_used == 3
+
+    def test_more_workers_than_jobs(self):
+        jobs = mixed_jobs(num_pairs=2, rng_seed=6)
+        engine = get_engine("batched", scoring=SCORING, xdrop=20)
+        pool = ShardedWorkerPool(engine, num_workers=6, xdrop=20)
+        run = pool.run_batch(jobs)
+        assert len(run.results) == 2
+        assert run.shards_used == 2
+
+    def test_empty_batch(self):
+        pool = ShardedWorkerPool(get_engine("batched"), num_workers=2)
+        run = pool.run_batch([])
+        assert run.results == [] and run.shards_used == 0
+
+    def test_per_worker_accounting(self):
+        jobs = mixed_jobs(num_pairs=8, rng_seed=7)
+        engine = get_engine("batched", scoring=SCORING, xdrop=25)
+        pool = ShardedWorkerPool(engine, num_workers=2, xdrop=25)
+        run = pool.run_batch(jobs)
+        assert sum(w.jobs for w in pool.worker_stats) == len(jobs)
+        assert sum(w.cells for w in pool.worker_stats) == run.summary.cells
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ServiceError):
+            ShardedWorkerPool(get_engine("batched"), num_workers=0)
+
+
+class TestAlignmentServiceEndToEnd:
+    """The PR's acceptance criterion."""
+
+    def test_individual_submissions_match_direct_batch(self):
+        jobs = mixed_jobs(num_pairs=20, rng_seed=13)
+        direct = get_engine("batched", scoring=SCORING, xdrop=30).align_batch(jobs)
+
+        service = AlignmentService(
+            engine="batched",
+            scoring=SCORING,
+            xdrop=30,
+            num_workers=2,
+            policy=BatchPolicy(max_batch_size=6, bin_width=600),
+        )
+        tickets = [service.submit(job) for job in jobs]
+        service.drain()
+        results = [t.result(timeout=30.0) for t in tickets]
+
+        # Bit-identical to the direct batch call.
+        for got, ref in zip(results, direct.results):
+            assert got.score == ref.score
+            assert got.query_begin == ref.query_begin
+            assert got.query_end == ref.query_end
+            assert got.target_begin == ref.target_begin
+            assert got.target_end == ref.target_end
+            assert got.left.best_score == ref.left.best_score
+            assert got.right.best_score == ref.right.best_score
+
+        stats = service.stats()
+        assert stats.completed == len(jobs)
+        # At least one genuinely multi-job batch was formed.
+        assert stats.batches_formed >= 1
+        assert max(t.batch_size for t in tickets) > 1
+        assert stats.cells == direct.summary.cells
+
+        # Resubmission: nonzero cache hit rate, identical results, no new work.
+        tickets2 = [service.submit(job) for job in jobs]
+        service.drain()
+        assert all(t.cache_hit for t in tickets2)
+        assert [t.result().score for t in tickets2] == direct.scores()
+        stats2 = service.stats()
+        assert stats2.cache.hit_rate > 0
+        assert stats2.cells == stats.cells  # nothing re-aligned
+        service.shutdown()
+
+    def test_background_thread_mode(self):
+        jobs = mixed_jobs(num_pairs=9, rng_seed=17)
+        direct = get_engine("batched", scoring=SCORING, xdrop=25).align_batch(jobs)
+        service = AlignmentService(
+            engine="batched",
+            scoring=SCORING,
+            xdrop=25,
+            policy=BatchPolicy(max_batch_size=4, max_wait_seconds=0.01),
+        ).start()
+        try:
+            tickets = service.submit_many(jobs)
+            # No drain(): the background loop must flush via size/wait.
+            results = [t.result(timeout=30.0) for t in tickets]
+            assert [r.score for r in results] == direct.scores()
+        finally:
+            service.shutdown()
+        assert not service.running
+
+    def test_map_convenience(self):
+        jobs = mixed_jobs(num_pairs=6, rng_seed=19)
+        with AlignmentService(engine="batched", scoring=SCORING, xdrop=20) as svc:
+            results = svc.map(jobs)
+        direct = get_engine("batched", scoring=SCORING, xdrop=20).align_batch(jobs)
+        assert [r.score for r in results] == direct.scores()
+
+    def test_submit_after_shutdown_raises(self):
+        service = AlignmentService(engine="batched")
+        service.shutdown()
+        with pytest.raises(ServiceError, match="shut down"):
+            service.submit(tiny_job())
+
+    def test_stats_snapshot_shape(self):
+        service = AlignmentService(engine="batched", num_workers=2)
+        service.map(mixed_jobs(num_pairs=4, rng_seed=23))
+        payload = service.stats().to_dict()
+        for key in (
+            "submitted",
+            "completed",
+            "batches_formed",
+            "cache_hit_rate",
+            "throughput_gcups",
+            "workers",
+        ):
+            assert key in payload
+        assert payload["throughput_gcups"] >= 0
+        assert len(payload["workers"]) == 2
+        service.shutdown()
+
+    def test_inline_overflow_drains_instead_of_deadlocking(self):
+        # Inline mode has no background consumer, so a full queue must
+        # trigger a synchronous drain rather than a backpressure timeout:
+        # submitting far more jobs than queue_capacity has to succeed.
+        service = AlignmentService(
+            engine="batched",
+            scoring=SCORING,
+            xdrop=20,
+            queue_capacity=3,
+            submit_timeout=0.1,
+            policy=BatchPolicy(max_batch_size=64),
+        )
+        jobs = mixed_jobs(num_pairs=8, rng_seed=29)
+        results = service.map(jobs)
+        direct = get_engine("batched", scoring=SCORING, xdrop=20).align_batch(jobs)
+        assert [r.score for r in results] == direct.scores()
+        service.shutdown()
+
+    def test_background_submit_counters_are_consistent(self):
+        jobs = mixed_jobs(num_pairs=12, rng_seed=31)
+        service = AlignmentService(
+            engine="batched",
+            scoring=SCORING,
+            xdrop=20,
+            policy=BatchPolicy(max_batch_size=3, max_wait_seconds=0.005),
+        ).start()
+        try:
+            tickets = service.submit_many(jobs + jobs)  # duplicates race the loop
+            for t in tickets:
+                t.result(timeout=30.0)
+            # Give the loop no chance to be mid-dispatch, then check books.
+            service.drain()
+            stats = service.stats()
+            assert stats.submitted == 24
+            assert stats.completed == 24
+        finally:
+            service.shutdown()
+
+
+class TestServiceBackedPipeline:
+    def test_pipeline_via_service_matches_engine_path(self, tiny_reads):
+        engine_pipeline = BellaPipeline(engine="batched", k=13, xdrop=15, min_overlap=300)
+        expected = engine_pipeline.run(tiny_reads)
+
+        service = AlignmentService(engine="batched", xdrop=15)
+        service_pipeline = BellaPipeline(
+            service=service, k=13, xdrop=15, min_overlap=300
+        )
+        got = service_pipeline.run(tiny_reads)
+        assert got.accepted_pairs() == expected.accepted_pairs()
+        assert [o.score for o in got.overlaps] == [o.score for o in expected.overlaps]
+
+        # A second run over the same reads is served from the cache.
+        service_pipeline.run(tiny_reads)
+        assert service.stats().cache.hits > 0
+        service.shutdown()
+
+    def test_service_conflicts_with_engine(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="not both"):
+            BellaPipeline(service=AlignmentService(), engine="batched")
