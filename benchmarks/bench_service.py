@@ -37,11 +37,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api import AlignConfig, ServiceConfig  # noqa: E402
 from repro.core import ScoringScheme  # noqa: E402
 from repro.data import PairSetSpec, generate_pair_set  # noqa: E402
 from repro.engine import get_engine  # noqa: E402
 from repro.perf import Timer, gcups  # noqa: E402
-from repro.service import AlignmentService, BatchPolicy  # noqa: E402
+from repro.service import AlignmentService  # noqa: E402
 
 OUTPUT = REPO_ROOT / "BENCH_service.json"
 
@@ -102,12 +103,17 @@ def main(argv=None) -> int:
     # 3. Service: individual submissions, adaptive batching, then a cached
     #    resubmission round.
     service = AlignmentService(
-        engine="batched",
-        scoring=scoring,
-        xdrop=args.xdrop,
-        num_workers=args.workers,
-        policy=BatchPolicy(max_batch_size=args.batch_size, bin_width=500),
-        cache_capacity=4 * len(jobs),
+        config=AlignConfig(
+            engine="batched",
+            scoring=scoring,
+            xdrop=args.xdrop,
+            bin_width=500,
+            service=ServiceConfig(
+                num_workers=args.workers,
+                max_batch_size=args.batch_size,
+                cache_capacity=4 * len(jobs),
+            ),
+        )
     )
     service_timer = Timer()
     with service_timer:

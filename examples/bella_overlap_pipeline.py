@@ -14,11 +14,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.baselines import SeqAnBatchAligner
 from repro.bella import BellaPipeline
 from repro.data import ErrorModel, RepeatSpec, simulate_genome, simulate_reads, true_overlap
-from repro.gpusim import MultiGpuSystem
-from repro.logan import LoganAligner
 
 import numpy as np
 
@@ -42,12 +39,16 @@ def main() -> None:
           f"~{sum(len(r) for r in reads) / len(genome):.1f}x coverage, "
           f"{len(genome.repeat_positions)} planted repeat copies")
 
-    # Two pipelines differing only in the alignment kernel.
+    from repro.api import AlignConfig
+
+    # Two pipelines differing only in the alignment kernel — the same
+    # AlignConfig with a different engine name.
     seqan_pipeline = BellaPipeline(
-        aligner=SeqAnBatchAligner(xdrop=25), k=15, error_rate=0.12, min_overlap=500
+        config=AlignConfig(engine="seqan", xdrop=25),
+        k=15, error_rate=0.12, min_overlap=500,
     )
     logan_pipeline = BellaPipeline(
-        aligner=LoganAligner(system=MultiGpuSystem.homogeneous(6), xdrop=25),
+        config=AlignConfig(engine="logan", xdrop=25, engine_options={"gpus": 6}),
         k=15,
         error_rate=0.12,
         min_overlap=500,

@@ -22,9 +22,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.api import AlignConfig, ServiceConfig
 from repro.data import PairSetSpec, generate_pair_set
 from repro.engine import get_engine
-from repro.service import AlignmentService, BatchPolicy
+from repro.service import AlignmentService
 
 XDROP = 50
 
@@ -40,10 +41,12 @@ jobs = generate_pair_set(
 )
 
 with AlignmentService(
-    engine="batched",
-    xdrop=XDROP,
-    num_workers=2,
-    policy=BatchPolicy(max_batch_size=16, bin_width=500),
+    config=AlignConfig(
+        engine="batched",
+        xdrop=XDROP,
+        bin_width=500,
+        service=ServiceConfig(num_workers=2, max_batch_size=16),
+    )
 ) as service:
     # Round 1: every job is new — batched and aligned.
     tickets = [service.submit(job) for job in jobs]

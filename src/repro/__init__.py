@@ -4,6 +4,10 @@ LOGAN is the first high-performance multi-GPU implementation of the X-drop
 pairwise-alignment heuristic.  This package re-implements the full system in
 pure Python/NumPy:
 
+* :mod:`repro.api` — **the public front door**: the typed, validating
+  :class:`repro.api.AlignConfig` (one declarative object consumed by every
+  layer, JSON round-trippable) and the :class:`repro.api.Aligner` session
+  facade (``align`` / ``align_batch`` / ``align_iter`` / ``open_service``);
 * :mod:`repro.core` — the X-drop extension algorithm (scalar reference,
   per-pair vectorised kernel and inter-sequence batched kernel), scoring
   schemes, seed-and-extend;
@@ -32,6 +36,15 @@ pure Python/NumPy:
 
 Quickstart
 ----------
+
+The supported entry point is :mod:`repro.api` — one config, one facade:
+
+>>> from repro.api import Aligner, AlignConfig
+>>> aligner = Aligner(AlignConfig(engine="batched", xdrop=10))
+>>> aligner.align("ACGTACGTTT", "ACGTACGTAA").score
+8
+
+The lower layers stay importable for direct use:
 
 >>> from repro import xdrop_extend, ScoringScheme
 >>> res = xdrop_extend("ACGTACGTTT", "ACGTACGTAA", ScoringScheme(), xdrop=10)
@@ -64,13 +77,17 @@ from .core import (
     xdrop_extend_batch,
     xdrop_extend_reference,
 )
+from .api import AlignConfig, Aligner, ServiceConfig
 from .engine import describe_engines, get_engine, list_engines, register_engine
 from .service import AlignmentService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
+    "Aligner",
+    "AlignConfig",
+    "ServiceConfig",
     "ScoringScheme",
     "AffineScoringScheme",
     "DEFAULT_SCORING",

@@ -1,0 +1,32 @@
+"""Deprecation shims for the pre-``repro.api`` configuration surfaces.
+
+Every legacy kwarg path (loose ``AlignmentService``/``BellaPipeline``
+constructor options, the ``repro-bella --aligner`` flag) keeps working, but
+announces — once per process and per seam, via :func:`warn_once` — that the
+typed :class:`repro.api.AlignConfig` front door is the supported spelling.
+
+The library itself never goes through a shim (CI imports ``repro.api``
+under ``-W error::DeprecationWarning`` to enforce that), so the warnings
+only ever fire for end-user code.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once", "reset_deprecation_warnings"]
+
+_SEEN: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit *message* as a :class:`DeprecationWarning`, once per *key*."""
+    if key in _SEEN:
+        return
+    _SEEN.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which warnings fired (so tests can assert the warn-once path)."""
+    _SEEN.clear()

@@ -43,7 +43,7 @@ def band_cells(m: int, n: int, bandwidth: int) -> int:
 def banded_smith_waterman(
     query: SequenceLike,
     target: SequenceLike,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
     bandwidth: int = 128,
 ) -> FullAlignmentResult:
     """Local alignment restricted to the band ``|i - j| <= bandwidth``.
@@ -55,6 +55,7 @@ def banded_smith_waterman(
     """
     if bandwidth < 0:
         raise ConfigurationError(f"bandwidth must be non-negative, got {bandwidth}")
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     m, n = len(q), len(t)

@@ -41,13 +41,14 @@ def _nw_rows(q: np.ndarray, t: np.ndarray, scoring: ScoringScheme, keep: bool):
 def needleman_wunsch(
     query: SequenceLike,
     target: SequenceLike,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
 ) -> FullAlignmentResult:
     """Best global alignment score of *query* against *target*.
 
     The global score is the value of the bottom-right DP cell ``S(m, n)``;
     every cell of the quadratic matrix must be evaluated.
     """
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     last_row, _ = _nw_rows(q, t, scoring, keep=False)
@@ -63,9 +64,10 @@ def needleman_wunsch(
 def needleman_wunsch_matrix(
     query: SequenceLike,
     target: SequenceLike,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
 ) -> FullAlignmentResult:
     """Needleman–Wunsch that also returns the full DP matrix (small inputs only)."""
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     m, n = len(q), len(t)

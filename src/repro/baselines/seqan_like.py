@@ -102,13 +102,13 @@ class SeqAnBatchAligner:
 
     def __init__(
         self,
-        scoring: ScoringScheme = ScoringScheme(),
+        scoring: ScoringScheme | None = None,
         xdrop: int = 100,
         cost_model: CpuCostModel = SEQAN_POWER9_MODEL,
         workers: int = 1,
         trace: bool = False,
     ) -> None:
-        self.scoring = scoring
+        self.scoring = scoring if scoring is not None else ScoringScheme()
         self.xdrop = int(xdrop)
         self.cost_model = cost_model
         self.workers = max(1, int(workers))

@@ -28,7 +28,7 @@ __all__ = ["smith_waterman", "smith_waterman_matrix"]
 def smith_waterman(
     query: SequenceLike,
     target: SequenceLike,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
 ) -> FullAlignmentResult:
     """Best local alignment score between *query* and *target*.
 
@@ -37,6 +37,7 @@ def smith_waterman(
     (always ``(m+1)*(n+1)``, which is what makes the exact algorithm
     unattractive for long reads).
     """
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     m, n = len(q), len(t)
@@ -77,13 +78,14 @@ def smith_waterman(
 def smith_waterman_matrix(
     query: SequenceLike,
     target: SequenceLike,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
 ) -> FullAlignmentResult:
     """Smith–Waterman that also returns the full DP matrix.
 
     Only intended for small sequences (tests, examples, search-space
     visualisation); the matrix costs ``(m+1) * (n+1)`` int64 entries.
     """
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     m, n = len(q), len(t)

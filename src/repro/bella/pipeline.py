@@ -28,6 +28,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from .._compat import warn_once
 from ..core.job import AlignmentJob, BatchWorkSummary, summarize_results
 from ..core.result import SeedAlignmentResult
 from ..core.scoring import ScoringScheme
@@ -147,6 +148,15 @@ class BellaPipeline:
         are submitted individually and gathered via :meth:`map`, so
         repeated pipeline runs benefit from the service's result cache and
         batching.  Mutually exclusive with *aligner* and *engine*.
+    config:
+        An :class:`repro.api.AlignConfig` supplying the whole alignment
+        surface — engine (plus options), scoring, xdrop and the diagonal
+        ``bin_width`` — in one object.  Mutually exclusive with *aligner*
+        and *engine*; combinable with *service* (the config describes the
+        alignment parameters, the service is the execution backend — build
+        one with ``Aligner(config).open_service()`` to keep them in sync).
+        The loose alignment kwargs keep working but are deprecated (they
+        warn once per process).
     """
 
     def __init__(
@@ -157,13 +167,14 @@ class BellaPipeline:
         reliable_upper: int | None = None,
         min_shared_kmers: int = 1,
         bin_width: int = 500,
-        scoring: ScoringScheme = ScoringScheme(),
+        scoring: ScoringScheme | None = None,
         threshold: AdaptiveThreshold | None = None,
         error_rate: float = 0.15,
         min_overlap: int = 500,
         engine: str | BatchAlignerProtocol | None = None,
         xdrop: int = 100,
         service=None,
+        config=None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -175,19 +186,62 @@ class BellaPipeline:
             raise ConfigurationError(
                 "pass either a service or an aligner/engine, not both"
             )
+        if config is not None:
+            if aligner is not None or engine is not None:
+                raise ConfigurationError(
+                    "pass either config= or an aligner/engine, not both"
+                )
+            if scoring is not None or xdrop != 100 or bin_width != 500:
+                raise ConfigurationError(
+                    "pass either config= or loose scoring/xdrop/bin_width, "
+                    "not both (the config carries all three)"
+                )
+            scoring = config.scoring
+            xdrop = config.xdrop
+            bin_width = config.bin_width
+        elif (
+            aligner is not None
+            or engine is not None
+            or scoring is not None
+            or xdrop != 100
+        ):
+            warn_once(
+                "bella-loose-kwargs",
+                "configuring BellaPipeline's alignment stage through loose "
+                "kwargs (aligner/engine/scoring/xdrop) is deprecated; "
+                "pass config=repro.api.AlignConfig(...)",
+            )
+        if int(bin_width) <= 0:
+            # AlignConfig allows bin_width=0 (disables *service* batch
+            # binning); BELLA's diagonal seed binning needs a real width,
+            # so fail here with the field named instead of deep in run().
+            raise ConfigurationError(
+                f"bin_width: must be positive for BELLA's diagonal seed "
+                f"binning (0 only disables service batch binning), got {bin_width}"
+            )
         self.k = int(k)
         self.reliable_lower = int(reliable_lower)
         self.reliable_upper = reliable_upper
         self.min_shared_kmers = int(min_shared_kmers)
         self.bin_width = int(bin_width)
-        self.scoring = scoring
+        self.scoring = scoring if scoring is not None else ScoringScheme()
         self.xdrop = int(xdrop)
         self.threshold = threshold or AdaptiveThreshold(
-            error_rate=error_rate, scoring=scoring, min_overlap=min_overlap
+            error_rate=error_rate, scoring=self.scoring, min_overlap=min_overlap
         )
+        self.config = config
         self._aligner = aligner
         self._engine = engine
         self._service = service
+
+    @classmethod
+    def from_config(cls, config, **pipeline_options) -> "BellaPipeline":
+        """Build a pipeline whose alignment stage follows *config*.
+
+        ``pipeline_options`` are the non-alignment knobs (``k``,
+        ``reliable_lower``, ``error_rate``, ``min_overlap``, ...).
+        """
+        return cls(config=config, **pipeline_options)
 
     # ------------------------------------------------------------------ #
     @property
@@ -196,7 +250,11 @@ class BellaPipeline:
         if self._aligner is None:
             # Deferred import: repro.engine pulls in every aligner layer.
             from ..engine import get_engine
+            from ..engine.base import engine_from_config
 
+            if self.config is not None:
+                self._aligner = engine_from_config(self.config)
+                return self._aligner
             engine = self._engine if self._engine is not None else "seqan"
             if isinstance(engine, str):
                 engine = get_engine(engine, scoring=self.scoring, xdrop=self.xdrop)

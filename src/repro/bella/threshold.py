@@ -11,7 +11,7 @@ length rather than being a single global cut-off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.scoring import ScoringScheme
 from ..errors import ConfigurationError
@@ -41,7 +41,7 @@ class AdaptiveThreshold:
     """
 
     error_rate: float = 0.15
-    scoring: ScoringScheme = ScoringScheme()
+    scoring: ScoringScheme = field(default_factory=ScoringScheme)
     slack: float = 0.7
     min_overlap: int = 500
 

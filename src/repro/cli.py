@@ -20,26 +20,33 @@ Four console scripts are installed with the package:
     through the queue/batcher/cache/worker stack and reports service stats;
     ``submit`` aligns ad-hoc pairs through a short-lived service.
 
-Every entry point accepts ``--list-engines`` to print the registered
-alignment engines (name, exactness, summary) and exit.
+Every subcommand shares one declarative configuration surface: the
+``alignment configuration`` argument group is generated from the fields of
+:class:`repro.api.AlignConfig` (see :func:`repro.api.add_config_arguments`),
+and ``--config config.json`` loads a full :class:`~repro.api.AlignConfig`
+which individual flags then override.  Every entry point also accepts
+``--list-engines`` to print the registered alignment engines (name,
+exactness, summary) and exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Sequence
 
 import numpy as np
 
+from ._compat import warn_once
+from .api import AlignConfig, add_config_arguments, config_from_args, default_seed
 from .baselines import SeqAnBatchAligner
 from .bella import BellaPipeline
-from .core import ScoringScheme, Seed, encode
+from .core import encode
 from .core.job import AlignmentJob
 from .data import PairSetSpec, generate_pair_set, load_dataset, read_fasta
-from .engine import describe_engines, get_engine, list_engines
-from .gpusim import MultiGpuSystem
+from .engine import describe_engines, list_engines
 from .logan import LoganAligner
 
 __all__ = ["main_align", "main_bella", "main_bench", "main_service"]
@@ -66,29 +73,22 @@ def _add_engine_discovery(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_engine(name: str, scoring: ScoringScheme, args: argparse.Namespace):
-    """Instantiate a registry engine from shared CLI arguments."""
-    options = {"scoring": scoring, "xdrop": args.xdrop, "workers": args.workers}
-    if name == "logan":
-        options["system"] = MultiGpuSystem.homogeneous(getattr(args, "gpus", 1))
-    return get_engine(name, **options)
+def _with_gpus(config: AlignConfig, args: argparse.Namespace) -> AlignConfig:
+    """Fold the ``--gpus`` convenience flag into ``engine_options``."""
+    gpus = getattr(args, "gpus", None)
+    if gpus is None or config.engine != "logan":
+        return config
+    return config.replace(engine_options={**config.engine_options, "gpus": gpus})
 
 
-def _scoring_from_args(args: argparse.Namespace) -> ScoringScheme:
-    return ScoringScheme(match=args.match, mismatch=args.mismatch, gap=args.gap)
-
-
-def _add_scoring_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--match", type=int, default=1, help="match score (default 1)")
-    parser.add_argument(
-        "--mismatch", type=int, default=-1, help="mismatch score (default -1)"
-    )
-    parser.add_argument("--gap", type=int, default=-1, help="gap score (default -1)")
 
 
 # --------------------------------------------------------------------------- #
 # repro-align
 # --------------------------------------------------------------------------- #
+_ALIGN_DEFAULTS = AlignConfig(engine="logan")
+
+
 def main_align(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-align``."""
     parser = argparse.ArgumentParser(
@@ -99,21 +99,13 @@ def main_align(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--min-length", type=int, default=1000)
     parser.add_argument("--max-length", type=int, default=2000)
     parser.add_argument("--error-rate", type=float, default=0.15)
-    parser.add_argument("--xdrop", "-x", type=int, default=100, help="X-drop threshold")
-    parser.add_argument("--gpus", type=int, default=1, help="modeled GPU count")
-    parser.add_argument("--workers", type=int, default=1, help="local worker processes")
+    parser.add_argument("--gpus", type=int, default=None, help="modeled GPU count")
     parser.add_argument("--seed", type=int, default=2020, help="random seed")
     parser.add_argument(
         "--replicate-to",
         type=int,
         default=None,
         help="model a workload of this many pairs using the generated sample",
-    )
-    parser.add_argument(
-        "--engine",
-        choices=list_engines(),
-        default="logan",
-        help="alignment engine from the registry (default: logan)",
     )
     parser.add_argument(
         "--baseline",
@@ -127,11 +119,11 @@ def main_align(argv: Sequence[str] | None = None) -> int:
         "--target-fasta", type=str, default=None, help="against records of this FASTA"
     )
     parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
-    _add_scoring_arguments(parser)
+    add_config_arguments(parser, defaults=_ALIGN_DEFAULTS)
     _add_engine_discovery(parser)
     args = parser.parse_args(argv)
 
-    scoring = _scoring_from_args(args)
+    config = _with_gpus(config_from_args(args, _ALIGN_DEFAULTS), args)
     if args.query_fasta and args.target_fasta:
         queries = [r.sequence for r in read_fasta(args.query_fasta)]
         targets = [r.sequence for r in read_fasta(args.target_fasta)]
@@ -139,7 +131,10 @@ def main_align(argv: Sequence[str] | None = None) -> int:
             parser.error("query and target FASTA files must have the same record count")
         jobs = [
             AlignmentJob(
-                query=encode(q), target=encode(t), seed=Seed(0, 0, 1), pair_id=i
+                query=encode(q),
+                target=encode(t),
+                seed=default_seed(config.seed_policy, len(q), len(t)),
+                pair_id=i,
             )
             for i, (q, t) in enumerate(zip(queries, targets))
         ]
@@ -149,6 +144,7 @@ def main_align(argv: Sequence[str] | None = None) -> int:
             min_length=args.min_length,
             max_length=args.max_length,
             pairwise_error_rate=args.error_rate,
+            seed_placement=config.seed_policy,
             rng_seed=args.seed,
         )
         jobs = generate_pair_set(spec)
@@ -157,20 +153,15 @@ def main_align(argv: Sequence[str] | None = None) -> int:
     if args.replicate_to:
         replication = max(1.0, args.replicate_to / len(jobs))
 
-    if args.engine == "logan":
-        aligner = LoganAligner(
-            system=MultiGpuSystem.homogeneous(args.gpus),
-            scoring=scoring,
-            xdrop=args.xdrop,
-            workers=args.workers,
-        )
+    if config.engine == "logan":
+        aligner = LoganAligner.from_config(config)
         result = aligner.align_batch(jobs, replication=replication)
         payload = {
             "pairs": len(jobs),
-            "engine": args.engine,
+            "engine": config.engine,
             "replication": replication,
-            "xdrop": args.xdrop,
-            "gpus": args.gpus,
+            "xdrop": config.xdrop,
+            "gpus": aligner.system.num_devices,
             "threads_per_block": result.threads_per_block,
             "measured_seconds": result.elapsed_seconds,
             "measured_gcups": result.measured_gcups(),
@@ -188,20 +179,21 @@ def main_align(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             replication = 1.0
-        engine = _build_engine(args.engine, scoring, args)
-        result = engine.align_batch(jobs)
+        result = config.build_engine().align_batch(jobs)
         payload = {
             "pairs": len(jobs),
-            "engine": args.engine,
+            "engine": config.engine,
             "replication": replication,
-            "xdrop": args.xdrop,
+            "xdrop": config.xdrop,
             "measured_seconds": result.elapsed_seconds,
             "measured_gcups": result.measured_gcups(),
             "modeled_seconds": result.modeled_seconds,
             "mean_score": float(np.mean(result.scores())),
         }
     if args.baseline:
-        baseline = SeqAnBatchAligner(scoring=scoring, xdrop=args.xdrop, workers=args.workers)
+        baseline = SeqAnBatchAligner(
+            scoring=config.scoring, xdrop=config.xdrop, workers=config.workers
+        )
         bres = baseline.align_batch(jobs)
         payload["baseline_modeled_seconds"] = baseline.modeled_seconds_for(
             bres.summary.scaled(replication)
@@ -228,6 +220,9 @@ def main_align(argv: Sequence[str] | None = None) -> int:
 # --------------------------------------------------------------------------- #
 # repro-bella
 # --------------------------------------------------------------------------- #
+_BELLA_DEFAULTS = AlignConfig(engine="logan", xdrop=25)
+
+
 def main_bella(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-bella``."""
     parser = argparse.ArgumentParser(
@@ -245,25 +240,29 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--fasta", type=str, default=None, help="use reads from this FASTA")
     parser.add_argument("--kmer", "-k", type=int, default=17)
-    parser.add_argument("--xdrop", "-x", type=int, default=25)
     parser.add_argument(
-        "--aligner", choices=["seqan", "logan"], default="logan", help="alignment kernel"
-    )
-    parser.add_argument(
-        "--engine",
-        choices=list_engines(),
+        "--aligner",
+        choices=["seqan", "logan"],
         default=None,
-        help="alignment engine from the registry (overrides --aligner)",
+        help="deprecated alias of --engine",
     )
-    parser.add_argument("--gpus", type=int, default=1)
-    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--gpus", type=int, default=None)
     parser.add_argument("--min-overlap", type=int, default=500)
     parser.add_argument("--json", action="store_true")
-    _add_scoring_arguments(parser)
+    # seed_policy excluded: BELLA derives every seed from shared k-mers.
+    add_config_arguments(parser, defaults=_BELLA_DEFAULTS, exclude=("seed_policy",))
     _add_engine_discovery(parser)
     args = parser.parse_args(argv)
 
-    scoring = _scoring_from_args(args)
+    config = config_from_args(args, _BELLA_DEFAULTS, exclude=("seed_policy",))
+    if args.engine is None and args.aligner is not None:
+        warn_once(
+            "cli-bella-aligner",
+            "repro-bella --aligner is deprecated; use --engine (or --config)",
+        )
+        config = config.replace(engine=args.aligner)
+    config = _with_gpus(config, args)
+
     if args.fasta:
         reads = [r.sequence for r in read_fasta(args.fasta)]
         error_rate = 0.15
@@ -272,13 +271,9 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
         reads = dataset.reads
         error_rate = dataset.preset.error_rate
 
-    engine_name = args.engine if args.engine is not None else args.aligner
-    kernel = _build_engine(engine_name, scoring, args)
-
     pipeline = BellaPipeline(
-        aligner=kernel,
+        config=config,
         k=args.kmer,
-        scoring=scoring,
         error_rate=error_rate,
         min_overlap=args.min_overlap,
     )
@@ -287,9 +282,9 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
     payload = {
         "reads": len(reads),
         "kmer": args.kmer,
-        "xdrop": args.xdrop,
-        "aligner": engine_name,
-        "engine": engine_name,
+        "xdrop": config.xdrop,
+        "aligner": config.engine,
+        "engine": config.engine,
         "reliable_kmers": result.index.retained_kmers,
         "pruned_fraction": result.index.pruned_fraction,
         "candidates": result.candidates.num_candidates,
@@ -350,8 +345,19 @@ def main_bench(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="restrict the 'engines' experiment to these engines (repeatable)",
     )
+    add_config_arguments(parser, exclude=("engine",))
     _add_engine_discovery(parser)
     args = parser.parse_args(argv)
+    config = config_from_args(args, exclude=("engine",))
+    if config.replace(engine=AlignConfig().engine) != AlignConfig():
+        # The harness pins each experiment's parameters to the paper's
+        # setup; the shared config only selects engines for the sweep.
+        print(
+            "warning: repro-bench applies the alignment configuration only "
+            "as an engine restriction for the 'engines' experiment; other "
+            "config fields (scoring/xdrop/...) are fixed by each experiment",
+            file=sys.stderr,
+        )
 
     # The benchmark harness lives next to the repository (benchmarks/), not
     # inside the installed package, so resolve it relative to the current
@@ -368,8 +374,12 @@ def main_bench(argv: Sequence[str] | None = None) -> int:
         sys.path.insert(0, root)
     from benchmarks import harness  # deferred: benchmarks ship next to the repo
 
-    if args.experiment == "engines" and args.engine:
-        table = harness.run_engines(scale=args.scale, engines=args.engine)
+    engines = args.engine
+    if engines is None and args.config:
+        # A config file names one engine; restrict the sweep to it.
+        engines = [config.engine]
+    if args.experiment == "engines" and engines:
+        table = harness.run_engines(scale=args.scale, engines=engines)
     else:
         table = harness.run_experiment(args.experiment, scale=args.scale)
     print(table.formatted())
@@ -379,47 +389,44 @@ def main_bench(argv: Sequence[str] | None = None) -> int:
 # --------------------------------------------------------------------------- #
 # repro-service
 # --------------------------------------------------------------------------- #
-def _service_from_args(args: argparse.Namespace, scoring: ScoringScheme):
-    """Build an :class:`AlignmentService` from shared CLI arguments."""
-    from .service import AlignmentService, BatchPolicy
-
-    return AlignmentService(
-        engine=args.engine,
-        scoring=scoring,
-        xdrop=args.xdrop,
-        num_workers=args.workers,
-        policy=BatchPolicy(
-            max_batch_size=args.batch_size,
-            max_wait_seconds=args.max_wait,
-            bin_width=args.bin_width,
-        ),
-        cache_capacity=args.cache_capacity,
-        queue_capacity=args.queue_capacity,
-    )
+# serve's synthetic workload historically seeded mid-read; submit's literal
+# and FASTA pairs extended from the origin.  Per-subcommand defaults keep
+# both behaviours while letting --seed-policy / --config override either.
+_SERVE_DEFAULTS = AlignConfig(engine="batched", seed_policy="middle")
+_SUBMIT_DEFAULTS = AlignConfig(engine="batched", seed_policy="start")
 
 
-def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--engine",
-        choices=list_engines(),
-        default="batched",
-        help="alignment engine backing the service (default: batched)",
-    )
-    parser.add_argument("--xdrop", "-x", type=int, default=100)
-    parser.add_argument("--workers", type=int, default=1, help="worker shards")
-    parser.add_argument(
-        "--batch-size", type=int, default=64, help="engine-sized batch (flush bound)"
-    )
-    parser.add_argument(
-        "--max-wait", type=float, default=0.05, help="max seconds a job may wait"
-    )
-    parser.add_argument(
-        "--bin-width", type=int, default=500, help="length-bin width in bases"
-    )
-    parser.add_argument("--cache-capacity", type=int, default=4096)
-    parser.add_argument("--queue-capacity", type=int, default=1024)
+def _service_config_from_args(
+    args: argparse.Namespace, defaults: AlignConfig
+) -> AlignConfig:
+    """Resolve the service subcommand's config from the shared group."""
+    # --workers is resolved by hand: the historic repro-service spelling
+    # meant worker *shards*, which the shared group now calls --num-workers.
+    config = config_from_args(args, defaults, exclude=("workers",))
+    if args.workers is not None:
+        if args.num_workers is None:
+            warn_once(
+                "cli-service-workers",
+                "repro-service --workers is interpreted as service worker "
+                "shards for backwards compatibility; use --num-workers for "
+                "shards (or the config file's 'workers' field for engine "
+                "worker processes)",
+            )
+            config = config.replace(
+                service=dataclasses.replace(
+                    config.service, num_workers=args.workers
+                ),
+            )
+        else:
+            config = config.replace(workers=args.workers)
+    return config
+
+
+def _add_service_arguments(
+    parser: argparse.ArgumentParser, defaults: AlignConfig
+) -> None:
+    add_config_arguments(parser, defaults=defaults, include_service=True)
     parser.add_argument("--json", action="store_true")
-    _add_scoring_arguments(parser)
 
 
 def main_service(argv: Sequence[str] | None = None) -> int:
@@ -462,7 +469,7 @@ def main_service(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="process on drain instead of a background thread (deterministic)",
     )
-    _add_service_arguments(serve)
+    _add_service_arguments(serve, _SERVE_DEFAULTS)
 
     submit = sub.add_parser(
         "submit",
@@ -476,31 +483,41 @@ def main_service(argv: Sequence[str] | None = None) -> int:
     submit.add_argument("--target", type=str, default=None, help="literal target sequence")
     submit.add_argument("--query-fasta", type=str, default=None)
     submit.add_argument("--target-fasta", type=str, default=None)
-    _add_service_arguments(submit)
+    _add_service_arguments(submit, _SUBMIT_DEFAULTS)
 
     args = parser.parse_args(argv)
-    scoring = _scoring_from_args(args)
     if args.command == "serve":
-        return _run_serve(args, scoring, parser)
-    return _run_submit(args, scoring, parser)
+        return _run_serve(args, parser)
+    return _run_submit(args, parser)
 
 
-def _fasta_jobs(parser, query_fasta: str, target_fasta: str) -> list[AlignmentJob]:
+def _fasta_jobs(
+    parser, query_fasta: str, target_fasta: str, seed_policy: str = "start"
+) -> list[AlignmentJob]:
     queries = [r.sequence for r in read_fasta(query_fasta)]
     targets = [r.sequence for r in read_fasta(target_fasta)]
     if len(queries) != len(targets):
         parser.error("query and target FASTA files must have the same record count")
     return [
-        AlignmentJob(query=encode(q), target=encode(t), seed=Seed(0, 0, 1), pair_id=i)
+        AlignmentJob(
+            query=encode(q),
+            target=encode(t),
+            seed=default_seed(seed_policy, len(q), len(t)),
+            pair_id=i,
+        )
         for i, (q, t) in enumerate(zip(queries, targets))
     ]
 
 
-def _run_serve(args, scoring: ScoringScheme, parser) -> int:
+def _run_serve(args, parser) -> int:
     from .perf.timers import Timer
+    from .service import AlignmentService
 
+    config = _service_config_from_args(args, _SERVE_DEFAULTS)
     if args.query_fasta and args.target_fasta:
-        jobs = _fasta_jobs(parser, args.query_fasta, args.target_fasta)
+        jobs = _fasta_jobs(
+            parser, args.query_fasta, args.target_fasta, config.seed_policy
+        )
     else:
         jobs = generate_pair_set(
             PairSetSpec(
@@ -508,12 +525,12 @@ def _run_serve(args, scoring: ScoringScheme, parser) -> int:
                 min_length=args.min_length,
                 max_length=args.max_length,
                 pairwise_error_rate=args.error_rate,
-                seed_placement="middle",
+                seed_placement=config.seed_policy,
                 rng_seed=args.seed,
             )
         )
 
-    service = _service_from_args(args, scoring)
+    service = AlignmentService(config=config)
     if not args.inline:
         service.start()
     timer = Timer()
@@ -528,7 +545,7 @@ def _run_serve(args, scoring: ScoringScheme, parser) -> int:
 
     payload = {
         "command": "serve",
-        "engine": args.engine,
+        "engine": service.engine.name,
         "pairs": len(jobs),
         "rounds": len(rounds),
         "wall_seconds": timer.elapsed,
@@ -544,28 +561,35 @@ def _run_serve(args, scoring: ScoringScheme, parser) -> int:
     return 0
 
 
-def _run_submit(args, scoring: ScoringScheme, parser) -> int:
+def _run_submit(args, parser) -> int:
+    from .service import AlignmentService
+
+    config = _service_config_from_args(args, _SUBMIT_DEFAULTS)
     if args.query and args.target:
         jobs = [
             AlignmentJob(
                 query=encode(args.query),
                 target=encode(args.target),
-                seed=Seed(0, 0, 1),
+                seed=default_seed(
+                    config.seed_policy, len(args.query), len(args.target)
+                ),
             )
         ]
     elif args.query_fasta and args.target_fasta:
-        jobs = _fasta_jobs(parser, args.query_fasta, args.target_fasta)
+        jobs = _fasta_jobs(
+            parser, args.query_fasta, args.target_fasta, config.seed_policy
+        )
     else:
         parser.error("submit needs --query/--target or --query-fasta/--target-fasta")
 
-    with _service_from_args(args, scoring) as service:
+    with AlignmentService(config=config) as service:
         tickets = service.submit_many(jobs)
         service.drain()
         results = [t.result(timeout=60.0) for t in tickets]
 
     payload = {
         "command": "submit",
-        "engine": args.engine,
+        "engine": service.engine.name,
         "pairs": len(jobs),
         "scores": [r.score for r in results],
         "query_extents": [[r.query_begin, r.query_end] for r in results],

@@ -140,7 +140,7 @@ def extend_seed(
     query: SequenceLike,
     target: SequenceLike,
     seed: Seed,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
     xdrop: int = 100,
     kernel: ExtensionKernel = xdrop_extend,
     trace: bool = False,
@@ -169,6 +169,7 @@ def extend_seed(
         Combined score ``left + seed + right`` with alignment extents on
         both sequences.
     """
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     (left_q, left_t), (right_q, right_t) = split_on_seed(q, t, seed)

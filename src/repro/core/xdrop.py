@@ -34,7 +34,7 @@ def _validate(xdrop: int) -> None:
 def xdrop_extend_reference(
     query: SequenceLike,
     target: SequenceLike,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
     xdrop: int = 100,
     trace: bool = False,
 ) -> ExtensionResult:
@@ -66,6 +66,7 @@ def xdrop_extend_reference(
         Best score, end coordinates of the best cell, and work accounting.
     """
     _validate(xdrop)
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     m, n = len(q), len(t)
@@ -181,7 +182,7 @@ def xdrop_extend_reference(
 def exact_extension_score(
     query: SequenceLike,
     target: SequenceLike,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
 ) -> ExtensionResult:
     """Exact (un-pruned) best prefix-extension score via full dynamic programming.
 
@@ -195,6 +196,7 @@ def exact_extension_score(
     prefix maximum, so each row is resolved with one vectorised
     ``maximum.accumulate`` instead of an inner Python loop.
     """
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     m, n = len(q), len(t)

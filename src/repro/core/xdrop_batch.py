@@ -58,7 +58,7 @@ def _pack(seqs: list[np.ndarray], width: int) -> np.ndarray:
 
 def xdrop_extend_batch(
     pairs: Sequence[tuple[SequenceLike, SequenceLike]],
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
     xdrop: int = 100,
     trace: bool = False,
 ) -> list[ExtensionResult]:
@@ -88,6 +88,7 @@ def xdrop_extend_batch(
     """
     if xdrop < 0:
         raise ConfigurationError(f"X-drop threshold must be non-negative, got {xdrop}")
+    scoring = scoring if scoring is not None else ScoringScheme()
     if not pairs:
         return []
 

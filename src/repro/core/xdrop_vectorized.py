@@ -78,7 +78,7 @@ class XDropKernelState:
 def xdrop_extend(
     query: SequenceLike,
     target: SequenceLike,
-    scoring: ScoringScheme = ScoringScheme(),
+    scoring: ScoringScheme | None = None,
     xdrop: int = 100,
     trace: bool = False,
     state: XDropKernelState | None = None,
@@ -107,6 +107,7 @@ def xdrop_extend(
     """
     if xdrop < 0:
         raise ConfigurationError(f"X-drop threshold must be non-negative, got {xdrop}")
+    scoring = scoring if scoring is not None else ScoringScheme()
     q = encode(query)
     t = encode(target)
     m, n = len(q), len(t)

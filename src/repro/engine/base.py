@@ -34,6 +34,7 @@ __all__ = [
     "register_engine",
     "unregister_engine",
     "get_engine",
+    "engine_from_config",
     "list_engines",
     "describe_engines",
 ]
@@ -144,6 +145,67 @@ def get_engine(name: str, **options: Any) -> AlignmentEngine:
             f"unknown engine {name!r}; available: {', '.join(list_engines())}"
         )
     return factory(**options)
+
+
+def engine_from_config(config: Any) -> AlignmentEngine:
+    """Instantiate the engine described by an :class:`repro.api.AlignConfig`.
+
+    Also reachable as ``get_engine.from_config(config)``.  The config's
+    ``scoring``/``xdrop``/``workers``/``trace`` become the uniform factory
+    options, ``engine_options`` are forwarded verbatim, and ``bandwidth``
+    (when set) reaches factories that accept one.  Anything duck-typed with
+    those attributes works — the registry never imports :mod:`repro.api`.
+
+    Unknown ``engine_options`` keys raise a :class:`ConfigurationError`
+    naming the option and the factory's accepted parameters instead of a
+    bare ``TypeError`` from deep inside the constructor.
+    """
+    key = str(config.engine).lower()
+    factory = _REGISTRY.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"engine: unknown engine {config.engine!r}; "
+            f"available: {', '.join(list_engines())}"
+        )
+    options: dict[str, Any] = {
+        "scoring": config.scoring,
+        "xdrop": config.xdrop,
+        "workers": config.workers,
+        "trace": config.trace,
+    }
+    extra = dict(getattr(config, "engine_options", None) or {})
+    shadowed = sorted(set(extra) & set(options))
+    if shadowed:
+        raise ConfigurationError(
+            f"engine_options: {', '.join(map(repr, shadowed))} shadow the "
+            "uniform config fields of the same name; set them on the config "
+            "itself (scoring/xdrop/workers/trace) so every layer agrees"
+        )
+    bandwidth = getattr(config, "bandwidth", None)
+
+    target = factory.__init__ if inspect.isclass(factory) else factory
+    parameters = inspect.signature(target).parameters
+    accepts_any = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    accepted = {name for name in parameters if name != "self"}
+    if not accepts_any:
+        unknown = sorted(set(extra) - accepted)
+        if unknown:
+            raise ConfigurationError(
+                f"engine_options: {', '.join(map(repr, unknown))} not accepted "
+                f"by engine {key!r}; accepted: {', '.join(sorted(accepted))}"
+            )
+        options = {k: v for k, v in options.items() if k in accepted}
+        if bandwidth is not None and "bandwidth" in accepted:
+            extra.setdefault("bandwidth", bandwidth)
+    elif bandwidth is not None:
+        extra.setdefault("bandwidth", bandwidth)
+    options.update(extra)
+    return factory(**options)
+
+
+get_engine.from_config = engine_from_config  # the config-first spelling
 
 
 def list_engines() -> list[str]:

@@ -67,12 +67,12 @@ class _EngineBase:
 
     def __init__(
         self,
-        scoring: ScoringScheme = ScoringScheme(),
+        scoring: ScoringScheme | None = None,
         xdrop: int = 100,
         workers: int = 1,
         trace: bool = False,
     ) -> None:
-        self.scoring = scoring
+        self.scoring = scoring if scoring is not None else ScoringScheme()
         self.xdrop = int(xdrop)
         self.workers = max(1, int(workers))
         self.trace = bool(trace)
@@ -237,7 +237,7 @@ class Ksw2Engine(_EngineBase):
 
     def __init__(
         self,
-        scoring: ScoringScheme = ScoringScheme(),
+        scoring: ScoringScheme | None = None,
         xdrop: int = 100,
         workers: int = 1,
         trace: bool = False,
@@ -246,7 +246,7 @@ class Ksw2Engine(_EngineBase):
     ) -> None:
         super().__init__(scoring=scoring, xdrop=xdrop, workers=workers, trace=trace)
         self._explicit_affine = affine_scoring
-        self.affine_scoring = affine_scoring or self._derive_affine(scoring)
+        self.affine_scoring = affine_scoring or self._derive_affine(self.scoring)
         self.bandwidth = bandwidth
 
     @staticmethod
@@ -326,7 +326,7 @@ class LoganEngine(_EngineBase):
 
     def __init__(
         self,
-        scoring: ScoringScheme = ScoringScheme(),
+        scoring: ScoringScheme | None = None,
         xdrop: int = 100,
         workers: int = 1,
         trace: bool = False,
@@ -343,7 +343,7 @@ class LoganEngine(_EngineBase):
             system = MultiGpuSystem.homogeneous(gpus)
         self.aligner = LoganAligner(
             system=system,
-            scoring=scoring,
+            scoring=self.scoring,
             xdrop=self.xdrop,
             threads_per_block=threads_per_block,
             workers=self.workers,

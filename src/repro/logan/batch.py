@@ -141,7 +141,7 @@ class LoganAligner:
     def __init__(
         self,
         system: MultiGpuSystem | None = None,
-        scoring: ScoringScheme = ScoringScheme(),
+        scoring: ScoringScheme | None = None,
         xdrop: int = 100,
         threads_per_block: int | None = None,
         workers: int = 1,
@@ -160,7 +160,7 @@ class LoganAligner:
                 f"available: {sorted(EXTENSION_EXECUTORS)}"
             )
         self.system = system or MultiGpuSystem.homogeneous(1)
-        self.scoring = scoring
+        self.scoring = scoring if scoring is not None else ScoringScheme()
         self.xdrop = int(xdrop)
         self.workers = max(1, int(workers))
         self.host_model = host_model
@@ -172,6 +172,54 @@ class LoganAligner:
             KernelExecutionModel(device, params=self.kernel_params)
             for device in self.system.devices
         ]
+
+    @classmethod
+    def from_config(cls, config) -> "LoganAligner":
+        """Build an aligner from an :class:`repro.api.AlignConfig`.
+
+        ``engine_options`` may carry the LOGAN-specific knobs: ``gpus``
+        (shorthand for a homogeneous system), ``system``,
+        ``threads_per_block``, ``balancer_policy``, ``host_model``,
+        ``kernel_params`` and ``execution`` (the functional execution
+        strategy, mapped to the ``engine`` kwarg).  Unknown or shadowing
+        options raise a :class:`ConfigurationError` naming the option, the
+        same contract as :func:`repro.engine.base.engine_from_config`.
+        """
+        import inspect
+
+        options = dict(getattr(config, "engine_options", None) or {})
+        uniform = {"scoring", "xdrop", "workers"}
+        shadowed = sorted(set(options) & uniform)
+        if shadowed:
+            raise ConfigurationError(
+                f"engine_options: {', '.join(map(repr, shadowed))} shadow the "
+                "uniform config fields of the same name; set them on the "
+                "config itself"
+            )
+        accepted = {
+            name
+            for name in inspect.signature(cls.__init__).parameters
+            if name != "self"
+        } | {"gpus", "execution"}
+        unknown = sorted(set(options) - accepted)
+        if unknown:
+            raise ConfigurationError(
+                f"engine_options: {', '.join(map(repr, unknown))} not accepted "
+                f"by LoganAligner; accepted: {', '.join(sorted(accepted - uniform))}"
+            )
+        system = options.pop("system", None)
+        gpus = options.pop("gpus", None)
+        if system is None and gpus is not None:
+            system = MultiGpuSystem.homogeneous(int(gpus))
+        if "execution" in options:
+            options["engine"] = options.pop("execution")
+        return cls(
+            system=system,
+            scoring=config.scoring,
+            xdrop=config.xdrop,
+            workers=config.workers,
+            **options,
+        )
 
     # ------------------------------------------------------------------ #
     def threads_per_block_for(self, device: DeviceSpec) -> int:

@@ -7,8 +7,9 @@ engine-sized batches, and sharded across a load-balanced worker pool — the
 paper's host-side batching and multi-GPU partitioning (Section IV) recast
 as a production front door.
 
+>>> from repro.api import AlignConfig
 >>> from repro.service import AlignmentService
->>> with AlignmentService(engine="batched", xdrop=50) as svc:
+>>> with AlignmentService(config=AlignConfig(engine="batched", xdrop=50)) as svc:
 ...     tickets = [svc.submit(job) for job in jobs]
 ...     svc.drain()
 ...     scores = [t.result().score for t in tickets]

@@ -27,11 +27,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from .._compat import warn_once
 from ..core.job import AlignmentJob
 from ..core.result import SeedAlignmentResult
 from ..core.scoring import ScoringScheme
 from ..engine import get_engine
-from ..engine.base import AlignmentEngine
+from ..engine.base import AlignmentEngine, engine_from_config
 from ..errors import ServiceError
 from ..perf.metrics import gcups
 from .batcher import AdaptiveBatcher, BatchPolicy, FormedBatch
@@ -137,6 +138,12 @@ class AlignmentService:
         Load-balancing policy of the pool, ``"cells"`` or ``"count"``.
     submit_timeout:
         Seconds ``submit`` may block on a full queue before raising.
+    config:
+        An :class:`repro.api.AlignConfig`; when given it is the *sole*
+        configuration source (mixing it with the loose kwargs above raises)
+        and the nested :class:`repro.api.ServiceConfig` supplies every
+        serving knob.  The loose-kwarg spelling keeps working but is
+        deprecated — it warns once per process.
     """
 
     def __init__(
@@ -151,7 +158,56 @@ class AlignmentService:
         queue_capacity: int = 1024,
         worker_policy: str = "cells",
         submit_timeout: float = 5.0,
+        config=None,
     ) -> None:
+        if config is not None:
+            legacy = (
+                engine != "batched"
+                or scoring is not None
+                or xdrop != 100
+                or num_workers != 1
+                or policy is not None
+                or cache_capacity != 4096
+                or queue_capacity != 1024
+                or worker_policy != "cells"
+                or submit_timeout != 5.0
+            )
+            if legacy:
+                raise ServiceError(
+                    "pass either config= or the loose service kwargs, not both"
+                )
+            svc = config.service
+            engine = engine_from_config(config)
+            scoring = config.scoring
+            xdrop = config.xdrop
+            num_workers = svc.num_workers
+            policy = BatchPolicy(
+                max_batch_size=svc.max_batch_size,
+                max_wait_seconds=svc.max_wait_seconds,
+                bin_width=config.bin_width,
+            )
+            cache_capacity = svc.cache_capacity
+            queue_capacity = svc.queue_capacity
+            worker_policy = svc.worker_policy
+            submit_timeout = svc.submit_timeout
+        elif (
+            engine != "batched"
+            or scoring is not None
+            or xdrop != 100
+            or num_workers != 1
+            or policy is not None
+            or cache_capacity != 4096
+            or queue_capacity != 1024
+            or worker_policy != "cells"
+            or submit_timeout != 5.0
+        ):
+            warn_once(
+                "service-loose-kwargs",
+                "configuring AlignmentService through loose kwargs is "
+                "deprecated; pass config=repro.api.AlignConfig(...) (or use "
+                "repro.api.Aligner.open_service)",
+            )
+        self.config = config
         self.scoring = scoring if scoring is not None else ScoringScheme()
         self.xdrop = int(xdrop)
         if isinstance(engine, str):
@@ -176,6 +232,11 @@ class AlignmentService:
         self._completed = 0
         self._cells = 0
         self._busy_seconds = 0.0
+
+    @classmethod
+    def from_config(cls, config) -> "AlignmentService":
+        """Build a service entirely from an :class:`repro.api.AlignConfig`."""
+        return cls(config=config)
 
     # ------------------------------------------------------------------ #
     # Submission side.
