@@ -31,6 +31,14 @@ pure Python/NumPy:
   SpGEMM overlap detection, adaptive threshold, pipeline);
 * :mod:`repro.data` — FASTA/FASTQ I/O, synthetic genomes and long reads,
   benchmark pair sets and named datasets;
+* :mod:`repro.workloads` — the scenario workload bank: named, seedable
+  generators (PacBio/ONT error profiles, homopolymers, tandem/inverted
+  repeats, length skew, degenerate and X-drop-boundary adversaries)
+  producing job batches with ground-truth metadata;
+* :mod:`repro.testing` — the differential conformance/fuzz harness
+  (:class:`repro.testing.ConformanceRunner`, :func:`repro.testing.run_fuzz`)
+  replaying workloads through every engine and the service with
+  shrink-on-failure reporting (``repro-fuzz`` CLI, CI ``fuzz-smoke``);
 * :mod:`repro.roofline` — the adapted instruction Roofline model (Eq. 1);
 * :mod:`repro.perf` — timers, GCUPS/speed-up metrics, process-pool helpers.
 
@@ -81,7 +89,7 @@ from .api import AlignConfig, Aligner, ServiceConfig
 from .engine import describe_engines, get_engine, list_engines, register_engine
 from .service import AlignmentService
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

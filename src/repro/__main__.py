@@ -1,0 +1,45 @@
+"""``python -m repro <tool>`` — console-script dispatch without installation.
+
+The package ships five console entry points (``repro-align``,
+``repro-bella``, ``repro-bench``, ``repro-service``, ``repro-fuzz``);
+when the package is used straight off ``PYTHONPATH=src`` — the CI and
+laptop workflow — this module provides the same surface:
+
+.. code-block:: console
+
+   python -m repro fuzz --seed 0 --count 500
+   python -m repro align --pairs 10 --json
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main_align, main_bella, main_bench, main_fuzz, main_service
+
+_TOOLS = {
+    "align": main_align,
+    "bella": main_bella,
+    "bench": main_bench,
+    "service": main_service,
+    "fuzz": main_fuzz,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch ``python -m repro <tool> [args...]`` to the tool's main."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(sorted(_TOOLS))
+        print(f"usage: python -m repro <tool> [args...]\n\ntools: {names}")
+        return 0 if argv else 2
+    tool = _TOOLS.get(argv[0])
+    if tool is None:
+        names = ", ".join(sorted(_TOOLS))
+        print(f"unknown tool {argv[0]!r}; available: {names}", file=sys.stderr)
+        return 2
+    return tool(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

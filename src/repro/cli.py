@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four console scripts are installed with the package:
+Five console scripts are installed with the package:
 
 ``repro-align``
     Align a synthetic benchmark pair set (or two FASTA files) with LOGAN and
@@ -19,6 +19,12 @@ Four console scripts are installed with the package:
     Drive the asynchronous alignment service: ``serve`` runs a workload
     through the queue/batcher/cache/worker stack and reports service stats;
     ``submit`` aligns ad-hoc pairs through a short-lived service.
+
+``repro-fuzz``
+    Bounded differential conformance fuzzing: replay generated scenario
+    workloads (:mod:`repro.workloads`) through every registered engine and
+    the service path, asserting bit-identity with the scalar reference and
+    printing the shrunk minimal failing pair on a violation.
 
 Every subcommand shares one declarative configuration surface: the
 ``alignment configuration`` argument group is generated from the fields of
@@ -49,7 +55,7 @@ from .data import PairSetSpec, generate_pair_set, load_dataset, read_fasta
 from .engine import describe_engines, list_engines
 from .logan import LoganAligner
 
-__all__ = ["main_align", "main_bella", "main_bench", "main_service"]
+__all__ = ["main_align", "main_bella", "main_bench", "main_service", "main_fuzz"]
 
 
 class _ListEnginesAction(argparse.Action):
@@ -601,6 +607,132 @@ def _run_submit(args, parser) -> int:
         for key, value in payload.items():
             print(f"{key:>20s}: {value}")
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-fuzz
+# --------------------------------------------------------------------------- #
+_FUZZ_DEFAULTS = AlignConfig(engine="batched", xdrop=20)
+
+
+def main_fuzz(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-fuzz``: bounded differential conformance runs.
+
+    Exit status is 0 when every comparison was bit-identical (exact
+    engines) / deterministic (inexact ones), 1 when any conformance
+    violation was found — the shrunk minimal failing pair, its workload
+    seed and the JSON config are printed (and written to ``--artifact``
+    when given) so the failure replays from its printed form.
+    """
+    from .testing import run_fuzz
+    from .workloads import describe_profiles, list_profiles
+
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description=(
+            "Differential conformance fuzzing: generated scenario workloads "
+            "replayed through every registered engine and the alignment "
+            "service, checked bit-for-bit against the scalar reference."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root fuzz seed")
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="stop after checking at least this many jobs (default 500 "
+        "when --time is not given)",
+    )
+    parser.add_argument(
+        "--time",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this wall-clock budget",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=25, help="jobs generated per fuzz round"
+    )
+    parser.add_argument("--min-length", type=int, default=40)
+    parser.add_argument("--max-length", type=int, default=160)
+    parser.add_argument(
+        "--profiles",
+        action="append",
+        choices=list_profiles(),
+        default=None,
+        help="restrict to these workload profiles (repeatable; default all)",
+    )
+    parser.add_argument(
+        "--engines",
+        action="append",
+        choices=list_engines(),
+        default=None,
+        help="engines under test (repeatable; default every registered engine)",
+    )
+    parser.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the AlignmentService conformance path",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimising them",
+    )
+    parser.add_argument(
+        "--artifact",
+        type=str,
+        default=None,
+        metavar="JSON",
+        help="write the full fuzz report (incl. shrunk failures) to this file",
+    )
+    parser.add_argument(
+        "--list-profiles",
+        action="store_true",
+        help="list registered workload profiles and exit",
+    )
+    parser.add_argument("--quiet", action="store_true", help="no per-round progress")
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    # The config group's --engine selects the *service/config* engine; the
+    # engines under differential test are the repeatable --engines above.
+    add_config_arguments(parser, defaults=_FUZZ_DEFAULTS)
+    _add_engine_discovery(parser)
+    args = parser.parse_args(argv)
+
+    if args.list_profiles:
+        for row in describe_profiles():
+            print(f"{row['name']:>16s}  {row['summary']}")
+        return 0
+
+    config = config_from_args(args, _FUZZ_DEFAULTS)
+    progress = None
+    if not args.quiet and not args.json:
+        progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
+
+    report = run_fuzz(
+        config,
+        seed=args.seed,
+        count=args.count,
+        time_budget=args.time,
+        batch_size=args.batch,
+        min_length=args.min_length,
+        max_length=args.max_length,
+        profiles=args.profiles,
+        engines=args.engines,
+        include_service=not args.no_service,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+
+    if args.artifact:
+        with open(args.artifact, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

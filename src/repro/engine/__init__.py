@@ -18,6 +18,7 @@ from .base import (
     AlignmentEngine,
     EngineBatchResult,
     describe_engines,
+    engine_from_config,
     get_engine,
     list_engines,
     register_engine,
@@ -38,6 +39,7 @@ __all__ = [
     "register_engine",
     "unregister_engine",
     "get_engine",
+    "engine_from_config",
     "list_engines",
     "describe_engines",
     "ReferenceEngine",

@@ -231,6 +231,24 @@ class LoganAligner:
         return threads_for_xdrop(self.xdrop, device, gap_penalty=abs(self.scoring.gap))
 
     # ------------------------------------------------------------------ #
+    def _combine_streams(
+        self, per_device_streams: Sequence[StreamedTiming | None]
+    ) -> MultiGpuTiming:
+        """Fold per-device timings, tolerating a batch with no kernel work.
+
+        Every extension of a batch can be empty (seeds flush against both
+        sequence ends — e.g. one-base pairs): no kernel launches, so the
+        modeled GPU time is zero rather than a configuration error.
+        """
+        if any(stream is not None for stream in per_device_streams):
+            return self.system.combine(per_device_streams)
+        return MultiGpuTiming(
+            per_device_seconds=(),
+            host_overhead_seconds=0.0,
+            total_seconds=0.0,
+            cells=0,
+        )
+
     def align_batch(
         self, jobs: Sequence[AlignmentJob], replication: float = 1.0
     ) -> LoganBatchResult:
@@ -302,7 +320,7 @@ class LoganAligner:
                     per_device_streams.append(None)
                 kernel_timings.append(tuple(device_timings))
 
-        multi = self.system.combine(per_device_streams)
+        multi = self._combine_streams(per_device_streams)
         host_seconds = self.host_model.seconds(
             total_bases=int(round(prepared.total_bases * replication)),
             alignments=int(round(len(jobs) * replication)),
@@ -398,7 +416,7 @@ class LoganAligner:
                 per_device_streams.append(None)
             kernel_timings.append(tuple(device_timings))
 
-        multi = self.system.combine(per_device_streams)
+        multi = self._combine_streams(per_device_streams)
         host_seconds = self.host_model.seconds(
             total_bases=int(round(total_bases * replication)),
             alignments=int(round(len(jobs) * replication)),

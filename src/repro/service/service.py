@@ -288,7 +288,12 @@ class AlignmentService:
     def _dispatch(self, batch: FormedBatch) -> None:
         """Run one formed batch on the pool and resolve its tickets."""
         try:
-            run = self.pool.run_batch(batch.jobs())
+            # Align with the exact parameters the cache key was computed
+            # from — an engine instance with different defaults must not
+            # poison the content-addressed cache.
+            run = self.pool.run_batch(
+                batch.jobs(), scoring=self.scoring, xdrop=self.xdrop
+            )
         except Exception as error:  # pragma: no cover - engine failure path
             for ticket in batch.tickets:
                 ticket.fail(error)

@@ -85,8 +85,21 @@ class ShardedWorkerPool:
         )
         self.worker_stats = [WorkerStats(worker_index=i) for i in range(self.num_workers)]
 
-    def run_batch(self, jobs: Sequence[AlignmentJob]) -> PoolRun:
-        """Align *jobs*, sharded across the pool; results in job order."""
+    def run_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring=None,
+        xdrop: int | None = None,
+    ) -> PoolRun:
+        """Align *jobs*, sharded across the pool; results in job order.
+
+        *scoring*/*xdrop*, when given, override the engine's own defaults
+        for this batch (forwarded to ``align_batch``).  The service always
+        passes its own parameters here so the alignment is computed with
+        exactly the values its content-addressed cache key records, even
+        when the pool wraps an engine instance that was constructed with
+        different defaults.
+        """
         jobs = list(jobs)
         if not jobs:
             return PoolRun(results=[], summary=BatchWorkSummary(), elapsed_seconds=0.0,
@@ -96,16 +109,17 @@ class ShardedWorkerPool:
             assignments = [
                 a for a in self.balancer.split(jobs) if a.num_jobs > 0
             ]
+
+            def align(assignment):
+                return self.engine.align_batch(
+                    assignment.take(jobs), scoring=scoring, xdrop=xdrop
+                )
+
             if len(assignments) == 1:
-                batches = [self.engine.align_batch(assignments[0].take(jobs))]
+                batches = [align(assignments[0])]
             else:
                 with ThreadPoolExecutor(max_workers=len(assignments)) as pool:
-                    batches = list(
-                        pool.map(
-                            lambda a: self.engine.align_batch(a.take(jobs)),
-                            assignments,
-                        )
-                    )
+                    batches = list(pool.map(align, assignments))
         results: list[SeedAlignmentResult | None] = [None] * len(jobs)
         summary = BatchWorkSummary()
         for assignment, batch in zip(assignments, batches):

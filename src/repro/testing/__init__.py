@@ -1,0 +1,35 @@
+"""Differential conformance and fuzz harness.
+
+Turns the repo's central correctness claim — batched/vectorised/modeled
+engines bit-identical to the scalar X-drop reference — into an executable,
+continuously expanding artifact:
+
+* :class:`~repro.testing.conformance.ConformanceRunner` replays any job
+  batch through every registered engine and the
+  :class:`~repro.service.AlignmentService` path, asserting bit-identity
+  (exact engines) or determinism (inexact ones), with shrink-on-failure
+  reporting (smallest failing pair, workload seed, config);
+* :func:`~repro.testing.fuzz.run_fuzz` drives the runner over the
+  :mod:`repro.workloads` bank under a count or wall-clock budget — the
+  engine room of the ``repro-fuzz`` CLI and the CI ``fuzz-smoke`` job.
+"""
+
+from .conformance import (
+    ConformanceFailure,
+    ConformanceReport,
+    ConformanceRunner,
+    FieldMismatch,
+    compare_results,
+)
+from .fuzz import FuzzReport, derive_round_seed, run_fuzz
+
+__all__ = [
+    "ConformanceFailure",
+    "ConformanceReport",
+    "ConformanceRunner",
+    "FieldMismatch",
+    "compare_results",
+    "FuzzReport",
+    "derive_round_seed",
+    "run_fuzz",
+]

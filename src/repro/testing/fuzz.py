@@ -1,0 +1,220 @@
+"""Bounded differential fuzzing over the workload bank.
+
+``run_fuzz`` drives the :class:`~repro.testing.conformance.ConformanceRunner`
+round-robin across every (or a chosen subset of) workload profile, with a
+fresh derived seed per round, until a job-count or wall-clock budget is
+exhausted.  The run is fully deterministic for a given root seed: round
+``r`` of profile ``p`` always generates the same jobs, so any failure the
+fuzzer prints can be replayed from ``(seed, profile, workload_seed)``
+alone — the contract the ``repro-fuzz`` CLI and the CI ``fuzz-smoke`` job
+build on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..workloads import WorkloadSpec, generate_workload, list_profiles
+from .conformance import ConformanceFailure, ConformanceRunner, FieldMismatch
+
+__all__ = ["FuzzReport", "run_fuzz", "derive_round_seed"]
+
+
+def derive_round_seed(root_seed: int, round_index: int) -> int:
+    """Deterministic, well-mixed per-round workload seed."""
+    return int(
+        np.random.SeedSequence([int(root_seed), int(round_index)]).generate_state(1)[0]
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one bounded fuzz run."""
+
+    seed: int
+    profiles: list[str]
+    engines: list[str]
+    rounds: int = 0
+    jobs: int = 0
+    comparisons: int = 0
+    elapsed_seconds: float = 0.0
+    service_checked: bool = False
+    per_profile: dict[str, int] = field(default_factory=dict)
+    failures: list[ConformanceFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no conformance violation was found."""
+        return not self.failures
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (CLI ``--json`` / CI artifact)."""
+        return {
+            "seed": self.seed,
+            "profiles": list(self.profiles),
+            "engines": list(self.engines),
+            "rounds": self.rounds,
+            "jobs": self.jobs,
+            "comparisons": self.comparisons,
+            "elapsed_seconds": self.elapsed_seconds,
+            "service_checked": self.service_checked,
+            "per_profile": dict(self.per_profile),
+            "ok": self.ok,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def summary(self) -> str:
+        """Printable multi-line report."""
+        head = (
+            f"fuzz: seed={self.seed} rounds={self.rounds} jobs={self.jobs} "
+            f"comparisons={self.comparisons}"
+            f"{' +service' if self.service_checked else ''} "
+            f"in {self.elapsed_seconds:.1f}s -> "
+            f"{'OK' if self.ok else f'{len(self.failures)} FAILURE(S)'}"
+        )
+        lines = [head]
+        lines.append(
+            "  profiles: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.per_profile.items()))
+        )
+        for failure in self.failures:
+            lines.append(failure.describe())
+            lines.append("replay:")
+            lines.append(failure.replay_hint())
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    config=None,
+    *,
+    seed: int = 0,
+    count: int | None = None,
+    time_budget: float | None = None,
+    batch_size: int = 25,
+    min_length: int = 40,
+    max_length: int = 160,
+    profiles: Sequence[str] | None = None,
+    engines: Sequence[str] | None = None,
+    include_service: bool = True,
+    shrink: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run bounded differential fuzzing and return the aggregate report.
+
+    Parameters
+    ----------
+    config:
+        :class:`repro.api.AlignConfig` shared by every engine and the
+        service path (``scoring``/``xdrop``/``trace`` plus the serving
+        knobs).  Defaults to ``AlignConfig()``.
+    seed:
+        Root seed; round ``r`` uses :func:`derive_round_seed`.
+    count, time_budget:
+        Stop once at least *count* jobs were checked, or *time_budget*
+        seconds elapsed — whichever comes first when both are given.
+        With neither given, ``count`` defaults to 500.
+    batch_size:
+        Jobs generated per (round, profile).
+    min_length, max_length:
+        Template length range of the generated workloads.
+    profiles:
+        Workload profiles to cycle through (default: every registered one).
+    engines:
+        Engines under test (default: every registered one).
+    include_service, shrink:
+        Forwarded to the :class:`ConformanceRunner`.
+    progress:
+        Optional per-round callback receiving a one-line status string.
+    """
+    if config is None:
+        from ..api import AlignConfig
+
+        config = AlignConfig()
+    if count is None and time_budget is None:
+        count = 500
+    available = list_profiles()
+    names = [str(p).lower() for p in (profiles if profiles else available)]
+    unknown = sorted(set(names) - set(available))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown workload profile(s) {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(available)}"
+        )
+
+    runner = ConformanceRunner(
+        config=config,
+        engines=engines,
+        include_service=include_service,
+        shrink=shrink,
+    )
+    report = FuzzReport(seed=int(seed), profiles=names, engines=runner.engine_names)
+    started = time.perf_counter()
+    round_index = 0
+    while True:
+        elapsed = time.perf_counter() - started
+        if count is not None and report.jobs >= count:
+            break
+        if time_budget is not None and elapsed >= time_budget:
+            break
+        profile = names[round_index % len(names)]
+        spec = WorkloadSpec(
+            count=batch_size,
+            seed=derive_round_seed(seed, round_index),
+            min_length=min_length,
+            max_length=max_length,
+            xdrop=config.xdrop,
+            scoring=config.scoring,
+        )
+        try:
+            workload = generate_workload(profile, spec)
+            round_report = runner.run_workload(workload)
+        except Exception as error:
+            # A crash anywhere in a round is a recorded failure, never an
+            # abort: the campaign must always end with a report (and the
+            # CI artifact) carrying the round's seed for replay.
+            report.rounds += 1
+            report.failures.append(
+                ConformanceFailure(
+                    engine="(fuzz-round)",
+                    mismatches=[
+                        FieldMismatch(
+                            "exception",
+                            "a completed round",
+                            f"{type(error).__name__}: {error}",
+                        )
+                    ],
+                    query="",
+                    target="",
+                    seed=(0, 0, 1),
+                    config=config.to_dict(),
+                    job_index=-1,
+                    profile=profile,
+                    workload_seed=spec.seed,
+                )
+            )
+            if progress is not None:
+                progress(f"round {round_index}: {profile} CRASHED ({error})")
+            round_index += 1
+            continue
+        report.rounds += 1
+        report.jobs += round_report.jobs
+        report.comparisons += round_report.comparisons
+        report.service_checked = report.service_checked or round_report.service_checked
+        report.per_profile[profile] = (
+            report.per_profile.get(profile, 0) + round_report.jobs
+        )
+        report.failures.extend(round_report.failures)
+        if progress is not None:
+            progress(
+                f"round {round_index}: {profile} x{round_report.jobs} "
+                f"({'ok' if round_report.ok else 'FAIL'}) "
+                f"total={report.jobs} jobs"
+            )
+        round_index += 1
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

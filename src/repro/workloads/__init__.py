@@ -1,0 +1,34 @@
+"""Scenario workload bank: named, seedable generators of alignment jobs.
+
+The bank turns "as many scenarios as you can imagine" into a subsystem:
+every profile is a deterministic generator of
+:class:`~repro.core.job.AlignmentJob` batches with ground-truth metadata,
+registered by name so the conformance harness (:mod:`repro.testing`), the
+``repro-fuzz`` CLI and the pytest tier-2 matrix all enumerate the same
+families.  See :mod:`repro.workloads.profiles` for the scenario catalogue
+and :mod:`repro.workloads.bank` for the registry.
+"""
+
+from .bank import (
+    Workload,
+    WorkloadBank,
+    WorkloadProfile,
+    describe_profiles,
+    generate_workload,
+    list_profiles,
+    register_profile,
+    unregister_profile,
+)
+from .profiles import WorkloadSpec
+
+__all__ = [
+    "Workload",
+    "WorkloadBank",
+    "WorkloadProfile",
+    "WorkloadSpec",
+    "describe_profiles",
+    "generate_workload",
+    "list_profiles",
+    "register_profile",
+    "unregister_profile",
+]

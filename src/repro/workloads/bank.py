@@ -1,0 +1,196 @@
+"""The workload bank: named scenario profiles -> reproducible job batches.
+
+The bank is an open registry, exactly like the engine registry: every
+profile from :mod:`repro.workloads.profiles` is pre-registered, and
+downstream code can add its own scenario family with
+:func:`register_profile` (usable as a decorator).  A generated
+:class:`Workload` carries the jobs *and* their provenance — profile name,
+root seed, spec and per-job ground-truth metadata — so any conformance
+failure can name the exact generator call that produced it.
+
+>>> from repro.workloads import WorkloadBank, WorkloadSpec
+>>> bank = WorkloadBank(WorkloadSpec(count=8, seed=42))
+>>> wl = bank.generate("pacbio")
+>>> len(wl.jobs)
+8
+>>> wl.replay_hint()
+"generate_workload('pacbio', WorkloadSpec(count=8, seed=42, ...))"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Iterator
+
+from ..core.job import AlignmentJob
+from ..errors import ConfigurationError
+from .profiles import PROFILE_GENERATORS, WorkloadSpec
+
+__all__ = [
+    "WorkloadProfile",
+    "Workload",
+    "WorkloadBank",
+    "register_profile",
+    "unregister_profile",
+    "list_profiles",
+    "describe_profiles",
+    "generate_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One registered scenario family.
+
+    ``generator`` is a callable ``(spec, rng) -> iterable of
+    (query, target, seed, meta)`` tuples; the bank turns those into
+    :class:`~repro.core.job.AlignmentJob` objects.
+    """
+
+    name: str
+    generator: Callable[..., Iterable[tuple]]
+    description: str = ""
+
+
+@dataclass
+class Workload:
+    """A generated batch of jobs plus the provenance to regenerate it.
+
+    Attributes
+    ----------
+    profile:
+        Name of the scenario family that produced the jobs.
+    spec:
+        The exact :class:`~repro.workloads.profiles.WorkloadSpec` used —
+        regenerate with ``generate_workload(profile, spec)``.
+    jobs:
+        The alignment jobs, ``pair_id`` set to the generation index.
+    meta:
+        Per-job ground-truth metadata, parallel to ``jobs``.
+    """
+
+    profile: str
+    spec: WorkloadSpec
+    jobs: list[AlignmentJob]
+    meta: list[dict[str, Any]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[AlignmentJob]:
+        return iter(self.jobs)
+
+    def replay_hint(self) -> str:
+        """A copy-pasteable expression that regenerates this workload."""
+        return (
+            f"generate_workload({self.profile!r}, WorkloadSpec("
+            f"count={self.spec.count}, seed={self.spec.seed}, "
+            f"min_length={self.spec.min_length}, max_length={self.spec.max_length}, "
+            f"xdrop={self.spec.xdrop}))"
+        )
+
+
+_PROFILES: dict[str, WorkloadProfile] = {}
+
+
+def register_profile(
+    name: str,
+    generator: Callable[..., Iterable[tuple]] | None = None,
+    description: str = "",
+):
+    """Register a scenario *generator* under *name* (decorator-friendly).
+
+    Names are case-insensitive and must be unique, mirroring
+    :func:`repro.engine.register_engine`.
+    """
+
+    def _register(func: Callable[..., Iterable[tuple]]):
+        key = str(name).lower()
+        if key in _PROFILES:
+            raise ConfigurationError(f"workload profile {key!r} is already registered")
+        _PROFILES[key] = WorkloadProfile(
+            name=key,
+            generator=func,
+            description=description or (func.__doc__ or "").split("\n")[0],
+        )
+        return func
+
+    if generator is None:
+        return _register
+    return _register(generator)
+
+
+def unregister_profile(name: str) -> None:
+    """Remove a profile from the registry (no-op if absent)."""
+    _PROFILES.pop(str(name).lower(), None)
+
+
+def list_profiles() -> list[str]:
+    """Sorted names of every registered workload profile."""
+    return sorted(_PROFILES)
+
+
+def describe_profiles() -> list[dict[str, str]]:
+    """One ``{"name", "summary"}`` row per registered profile."""
+    return [
+        {"name": name, "summary": _PROFILES[name].description}
+        for name in list_profiles()
+    ]
+
+
+def generate_workload(name: str, spec: WorkloadSpec | None = None) -> Workload:
+    """Generate the named workload deterministically from *spec*.
+
+    The same ``(name, spec)`` always yields byte-identical jobs: each
+    profile derives a private generator from ``spec.seed`` and its own
+    name, so profiles never share random state.
+    """
+    key = str(name).lower()
+    profile = _PROFILES.get(key)
+    if profile is None:
+        raise ConfigurationError(
+            f"unknown workload profile {name!r}; "
+            f"available: {', '.join(list_profiles())}"
+        )
+    spec = spec if spec is not None else WorkloadSpec()
+    rng = spec.rng(key)
+    jobs: list[AlignmentJob] = []
+    meta: list[dict[str, Any]] = []
+    for index, (query, target, seed, info) in enumerate(
+        profile.generator(spec, rng)
+    ):
+        jobs.append(AlignmentJob(query=query, target=target, seed=seed, pair_id=index))
+        meta.append({"profile": key, "index": index, **info})
+    return Workload(profile=key, spec=spec, jobs=jobs, meta=meta)
+
+
+class WorkloadBank:
+    """Convenience wrapper binding a default spec to the profile registry.
+
+    Parameters
+    ----------
+    spec:
+        Default :class:`WorkloadSpec` of every generation; per-call
+        overrides (``count=``, ``seed=``, ...) produce a modified copy.
+    """
+
+    def __init__(self, spec: WorkloadSpec | None = None) -> None:
+        self.spec = spec if spec is not None else WorkloadSpec()
+
+    def profiles(self) -> list[str]:
+        """Registered profile names."""
+        return list_profiles()
+
+    def generate(self, name: str, **overrides: Any) -> Workload:
+        """Generate one profile, applying spec field *overrides*."""
+        spec = replace(self.spec, **overrides) if overrides else self.spec
+        return generate_workload(name, spec)
+
+    def generate_all(self, **overrides: Any) -> list[Workload]:
+        """Generate every registered profile with the same (overridden) spec."""
+        return [self.generate(name, **overrides) for name in self.profiles()]
+
+
+# Pre-register the built-in scenario families.
+for _name, (_gen, _summary) in PROFILE_GENERATORS.items():
+    register_profile(_name, _gen, _summary)

@@ -1,0 +1,430 @@
+"""Scenario generators of the workload bank.
+
+Each profile is a deterministic, seedable generator of one *scenario
+family* — a class of read pairs that stresses the alignment stack in a
+specific way, the differential-testing practice of the SeqAn and ksw2
+aligner suites.  The bundled families cover the traffic a long-read
+overlapper actually sees, plus the adversarial shapes that historically
+break banded aligners:
+
+``pacbio``
+    PacBio-CLR-style pairs: indel-dominated errors (50/30/20
+    insertion/deletion/substitution) at ~15 % pairwise divergence.
+``ont``
+    ONT-style pairs: substitution-heavier mix (40/25/35) over templates
+    with mild homopolymer bias, the regime where per-base error models
+    disagree the most.
+``homopolymer``
+    Templates built entirely of homopolymer runs (3-15 bases), the
+    classic slippage stressor for banded DP.
+``tandem_repeat``
+    Tandem repeat arrays with a copy-number difference between the two
+    reads — the band must shift a whole unit to follow the alignment.
+``inverted_repeat``
+    Templates containing a segment and its reverse complement, producing
+    locally self-similar sequences that invite spurious extensions.
+``length_skew``
+    Extreme length asymmetry (one read ~20-60 bases, the other up to the
+    spec maximum) in both orientations, exercising band clipping at the
+    matrix edges.
+``degenerate``
+    One-base pairs, seeds flush against sequence ends and seeds that
+    consume an entire read — every extension is empty or one cell.
+``xdrop_boundary``
+    Adversarial pairs whose mismatch tail makes the extension terminate
+    within +-1 anti-diagonal of the X-drop threshold, in both directions
+    (barely-terminates and barely-survives).
+
+Every generator takes a :class:`WorkloadSpec` and a
+``numpy.random.Generator`` and yields ``(query, target, seed, meta)``
+tuples; :mod:`repro.workloads.bank` assembles them into
+:class:`~repro.core.job.AlignmentJob` batches.  The ``meta`` dict carries
+ground truth provenance (template length, planted error budget, expected
+early-termination behaviour, ...) so conformance failures can be traced
+back to what the generator intended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..core.encoding import COMPLEMENT_CODE, WILDCARD_CODE, random_sequence
+from ..core.scoring import ScoringScheme
+from ..core.seed_extend import Seed
+from ..data.reads import ErrorModel, apply_errors
+from ..errors import ConfigurationError
+
+__all__ = ["WorkloadSpec", "CaseTuple", "PROFILE_GENERATORS"]
+
+#: One generated case: (query, target, seed, ground-truth metadata).
+CaseTuple = tuple[np.ndarray, np.ndarray, Seed, dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Tunables shared by every profile generator.
+
+    Attributes
+    ----------
+    count:
+        Number of pairs to generate per profile.
+    seed:
+        Root seed of the profile's private NumPy generator; the same
+        ``(profile, spec)`` always produces the same jobs.
+    min_length, max_length:
+        Template length range (profiles with intrinsic shapes — skew,
+        degenerate, boundary — interpret these as their long side).
+    error_rate:
+        Pairwise divergence budget of the error-profile families.
+    xdrop:
+        X-drop threshold the ``xdrop_boundary`` family is adversarial
+        against — pass the same value the conformance run will use.
+    scoring:
+        Scoring scheme assumed by the boundary construction (per-mismatch
+        score drop sets the tail lengths).
+    seed_length:
+        Anchor length planted in each pair (clipped to fit short reads).
+    """
+
+    count: int = 32
+    seed: int = 0
+    min_length: int = 60
+    max_length: int = 200
+    error_rate: float = 0.15
+    xdrop: int = 20
+    scoring: ScoringScheme = field(default_factory=ScoringScheme)
+    seed_length: int = 11
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError(
+                f"workload count must be positive, got {self.count}"
+            )
+        if self.min_length < 4 or self.max_length < self.min_length:
+            raise ConfigurationError(
+                "workload length range must satisfy 4 <= min <= max, got "
+                f"[{self.min_length}, {self.max_length}]"
+            )
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ConfigurationError(
+                f"workload error_rate must be in [0, 1), got {self.error_rate}"
+            )
+        if self.xdrop < 0:
+            raise ConfigurationError(
+                f"workload xdrop must be non-negative, got {self.xdrop}"
+            )
+        if self.seed_length <= 0:
+            raise ConfigurationError(
+                f"workload seed_length must be positive, got {self.seed_length}"
+            )
+
+    def rng(self, profile: str) -> np.random.Generator:
+        """Profile-private generator: root seed + profile name entropy."""
+        name_entropy = [ord(c) for c in profile]
+        return np.random.default_rng(
+            np.random.SeedSequence([int(self.seed)] + name_entropy)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Shared construction helpers
+# --------------------------------------------------------------------------- #
+def _length(spec: WorkloadSpec, rng: np.random.Generator) -> int:
+    return int(rng.integers(spec.min_length, spec.max_length + 1))
+
+
+def _plant_seed(
+    template: np.ndarray, spec: WorkloadSpec, rng: np.random.Generator
+) -> tuple[int, int]:
+    """Pick a seed interval on *template*: (start, k), mid-read biased."""
+    k = min(spec.seed_length, max(1, len(template) // 3))
+    upper = max(1, len(template) - k)
+    lo = int(0.25 * upper)
+    hi = max(lo + 1, int(0.75 * upper))
+    return int(rng.integers(lo, hi)), k
+
+
+def _pair_from_template(
+    template: np.ndarray,
+    model: ErrorModel,
+    spec: WorkloadSpec,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, Seed]:
+    """Derive a (query, target, seed) triple from one template.
+
+    Mirrors :func:`repro.data.pairs._make_related_pair`: the seed k-mer is
+    kept exact on both reads (it is the anchor), the flanks each absorb
+    half of the pairwise error budget.
+    """
+    start, k = _plant_seed(template, spec, rng)
+    prefix, kmer, suffix = (
+        template[:start],
+        template[start : start + k],
+        template[start + k :],
+    )
+
+    def flank(part: np.ndarray) -> np.ndarray:
+        return apply_errors(part, model, rng) if len(part) else part.copy()
+
+    q_pre, q_suf = flank(prefix), flank(suffix)
+    t_pre, t_suf = flank(prefix), flank(suffix)
+    query = np.concatenate([p for p in (q_pre, kmer, q_suf) if len(p)])
+    target = np.concatenate([p for p in (t_pre, kmer, t_suf) if len(p)])
+    return query, target, Seed(len(q_pre), len(t_pre), k)
+
+
+def _half_budget(spec: WorkloadSpec, sub: float, ins: float, dele: float) -> ErrorModel:
+    """Per-read error model carrying half the pairwise budget, given a mix."""
+    half = spec.error_rate / 2.0
+    return ErrorModel(
+        substitution=sub * half, insertion=ins * half, deletion=dele * half
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Error-profile families
+# --------------------------------------------------------------------------- #
+def gen_pacbio(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """PacBio-CLR mix: 50 % insertions, 30 % deletions, 20 % substitutions."""
+    model = _half_budget(spec, sub=0.2, ins=0.5, dele=0.3)
+    for _ in range(spec.count):
+        template = random_sequence(_length(spec, rng), rng)
+        query, target, seed = _pair_from_template(template, model, spec, rng)
+        yield query, target, seed, {
+            "template_length": int(len(template)),
+            "error_rate": spec.error_rate,
+            "mix": "ins-dominated",
+        }
+
+
+def gen_ont(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """ONT mix (40/25/35 sub/ins/del) over mildly homopolymer-biased templates."""
+    model = _half_budget(spec, sub=0.4, ins=0.25, dele=0.35)
+    for _ in range(spec.count):
+        length = _length(spec, rng)
+        # ~Half the template is short homopolymer runs, half uniform bases,
+        # interleaved — ONT deletion errors concentrate in such runs.
+        parts: list[np.ndarray] = []
+        built = 0
+        while built < length:
+            if rng.random() < 0.5:
+                run = int(rng.integers(3, 9))
+                parts.append(
+                    np.full(run, rng.integers(0, 4), dtype=np.uint8)
+                )
+            else:
+                run = int(rng.integers(4, 12))
+                parts.append(random_sequence(run, rng))
+            built += run
+        template = np.concatenate(parts)[:length]
+        query, target, seed = _pair_from_template(template, model, spec, rng)
+        yield query, target, seed, {
+            "template_length": int(len(template)),
+            "error_rate": spec.error_rate,
+            "mix": "sub-heavy homopolymer-biased",
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Structural families
+# --------------------------------------------------------------------------- #
+def gen_homopolymer(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """Templates made entirely of homopolymer runs (3-15 bases each)."""
+    model = _half_budget(spec, sub=0.2, ins=0.4, dele=0.4)
+    for _ in range(spec.count):
+        length = _length(spec, rng)
+        parts: list[np.ndarray] = []
+        built = 0
+        base = int(rng.integers(0, 4))
+        while built < length:
+            run = int(rng.integers(3, 16))
+            parts.append(np.full(run, base, dtype=np.uint8))
+            built += run
+            base = (base + int(rng.integers(1, 4))) % 4  # always switch base
+        template = np.concatenate(parts)[:length]
+        query, target, seed = _pair_from_template(template, model, spec, rng)
+        yield query, target, seed, {
+            "template_length": int(len(template)),
+            "structure": "homopolymer-runs",
+        }
+
+
+def gen_tandem_repeat(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """Tandem repeat arrays with a one-unit copy-number difference."""
+    model = _half_budget(spec, sub=0.5, ins=0.25, dele=0.25)
+    for _ in range(spec.count):
+        unit_len = int(rng.integers(4, 21))
+        copies = max(3, _length(spec, rng) // unit_len)
+        unit = random_sequence(unit_len, rng)
+        template = np.tile(unit, copies)
+        query, target, seed = _pair_from_template(template, model, spec, rng)
+        # Copy-number variation: append one extra unit to the target tail
+        # (after the seed) so the query/target disagree by a whole unit.
+        target = np.concatenate([target, unit])
+        yield query, target, seed, {
+            "unit_length": unit_len,
+            "copies": int(copies),
+            "structure": "tandem-repeat+1unit",
+        }
+
+
+def gen_inverted_repeat(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """Templates of the form  [S | spacer | revcomp(S)]  (palindromic arms)."""
+    model = _half_budget(spec, sub=0.5, ins=0.25, dele=0.25)
+    for _ in range(spec.count):
+        length = _length(spec, rng)
+        arm_len = max(8, length // 3)
+        arm = random_sequence(arm_len, rng)
+        spacer = random_sequence(max(4, length - 2 * arm_len), rng)
+        revcomp = np.ascontiguousarray(COMPLEMENT_CODE[arm][::-1])
+        template = np.concatenate([arm, spacer, revcomp])
+        query, target, seed = _pair_from_template(template, model, spec, rng)
+        yield query, target, seed, {
+            "arm_length": int(arm_len),
+            "structure": "inverted-repeat",
+        }
+
+
+def gen_length_skew(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """Extreme length asymmetry, alternating which side is the short one."""
+    model = _half_budget(spec, sub=0.4, ins=0.3, dele=0.3)
+    for index in range(spec.count):
+        long_len = spec.max_length
+        short_len = int(rng.integers(20, max(21, min(61, spec.min_length + 1))))
+        template = random_sequence(long_len, rng)
+        window = template[:short_len]
+        short = apply_errors(window, model, rng)
+        if len(short) == 0:  # pathological all-deleted draw
+            short = window.copy()
+        k = min(spec.seed_length, len(short), 8)
+        # Anchor both reads at their first k bases (kept exact).
+        short[:k] = template[:k]
+        if index % 2 == 0:
+            query, target = short, template.copy()
+        else:
+            query, target = template.copy(), short
+        yield query, target, Seed(0, 0, k), {
+            "short_length": int(len(short)),
+            "long_length": int(long_len),
+            "short_side": "query" if index % 2 == 0 else "target",
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial families
+# --------------------------------------------------------------------------- #
+def gen_degenerate(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """Zero-extension and one-base pairs: the smallest legal inputs.
+
+    Sequences must be non-empty (the encoding layer rejects empty arrays),
+    so "zero" here means *zero-length extensions*: seeds flush against the
+    sequence ends or consuming the whole read.
+    """
+    shapes = (
+        "one-base-match",
+        "one-base-mismatch",
+        "seed-consumes-query",
+        "seed-consumes-both",
+        "seed-at-start",
+        "seed-at-end",
+    )
+    for index in range(spec.count):
+        shape = shapes[index % len(shapes)]
+        if shape == "one-base-match":
+            base = int(rng.integers(0, 4))
+            query = np.asarray([base], dtype=np.uint8)
+            target = query.copy()
+            seed = Seed(0, 0, 1)
+        elif shape == "one-base-mismatch":
+            base = int(rng.integers(0, 4))
+            query = np.asarray([base], dtype=np.uint8)
+            target = np.asarray([(base + 1) % 4], dtype=np.uint8)
+            seed = Seed(0, 0, 1)
+        elif shape == "seed-consumes-query":
+            k = int(rng.integers(2, 8))
+            query = random_sequence(k, rng)
+            tail = random_sequence(int(rng.integers(1, 16)), rng)
+            target = np.concatenate([query, tail])
+            seed = Seed(0, 0, k)
+        elif shape == "seed-consumes-both":
+            k = int(rng.integers(2, 8))
+            query = random_sequence(k, rng)
+            target = query.copy()
+            seed = Seed(0, 0, k)
+        elif shape == "seed-at-start":
+            length = int(rng.integers(8, 32))
+            template = random_sequence(length, rng)
+            query = template.copy()
+            target = template.copy()
+            seed = Seed(0, 0, min(4, length))
+        else:  # seed-at-end
+            length = int(rng.integers(8, 32))
+            k = min(4, length)
+            template = random_sequence(length, rng)
+            query = template.copy()
+            target = template.copy()
+            seed = Seed(length - k, length - k, k)
+        yield query, target, seed, {"shape": shape}
+
+
+def gen_xdrop_boundary(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """Pairs whose extension dies within +-1 anti-diagonal of the threshold.
+
+    A matching prefix raises the running best, then an all-mismatch tail
+    lowers the diagonal score by ``-mismatch`` per step below that best.
+    With drop-per-mismatch ``d = -mismatch``, a tail of ``floor(X / d)``
+    mismatches never
+    breaches the threshold (the extension reaches the matrix corner) while
+    a tail of ``floor(X / d) + 1`` kills the whole band right at the
+    prefix — the two cases bracket the termination boundary within one
+    anti-diagonal.  ``meta["expect_early_termination"]`` records which side
+    of the boundary each pair was built on.
+    """
+    drop = max(1, -spec.scoring.mismatch)
+    breach = spec.xdrop // drop + 1  # smallest mismatch count breaching X
+    tails = (max(0, breach - 2), max(0, breach - 1), breach, breach + 1)
+    for index in range(spec.count):
+        prefix_len = int(rng.integers(4, max(5, spec.min_length)))
+        prefix = random_sequence(prefix_len, rng)
+        tail_len = tails[index % len(tails)]
+        # Wildcard (N) tails: N never matches anything — not even another N
+        # — so every DP path through the tail strictly drains score and the
+        # termination point is exactly the mismatch count, with no
+        # off-diagonal escape routes.
+        tail = np.full(tail_len, np.uint8(WILDCARD_CODE))
+        if tail_len == 0:
+            query, target = prefix.copy(), prefix.copy()
+        else:
+            query = np.concatenate([prefix, tail])
+            target = np.concatenate([prefix, tail.copy()])
+        k = min(spec.seed_length, prefix_len)
+        # X = 0 is its own boundary: the first anti-diagonal holds only gap
+        # cells (score -|gap| < best - 0), so any non-empty extension
+        # terminates immediately whatever the tail.
+        extension_nonempty = prefix_len > k or tail_len > 0
+        expected = bool(
+            tail_len >= breach or (spec.xdrop == 0 and extension_nonempty)
+        )
+        yield query, target, Seed(0, 0, k), {
+            "prefix_length": prefix_len,
+            "mismatch_tail": int(tail_len),
+            "breach_tail": int(breach),
+            "expect_early_termination": expected,
+            "xdrop": spec.xdrop,
+        }
+
+
+#: Name -> (generator, one-line description) of every built-in profile.
+PROFILE_GENERATORS: dict[str, tuple[Callable, str]] = {
+    "pacbio": (gen_pacbio, "PacBio-CLR indel-dominated error pairs"),
+    "ont": (gen_ont, "ONT sub-heavy pairs over homopolymer-biased templates"),
+    "homopolymer": (gen_homopolymer, "templates made entirely of homopolymer runs"),
+    "tandem_repeat": (gen_tandem_repeat, "tandem arrays with a copy-number change"),
+    "inverted_repeat": (gen_inverted_repeat, "palindromic arm / spacer / arm pairs"),
+    "length_skew": (gen_length_skew, "extreme length asymmetry, both orientations"),
+    "degenerate": (gen_degenerate, "one-base pairs and zero-length extensions"),
+    "xdrop_boundary": (gen_xdrop_boundary, "termination within +-1 cell of X"),
+}

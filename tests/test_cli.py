@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.cli import main_align, main_bella, main_bench, main_service
+from repro.cli import main_align, main_bella, main_bench, main_fuzz, main_service
 from repro.data import SequenceRecord, write_fasta
 
 
@@ -118,7 +118,7 @@ class TestReproBella:
 
 class TestEngineDiscovery:
     @pytest.mark.parametrize(
-        "entry", [main_align, main_bella, main_bench, main_service]
+        "entry", [main_align, main_bella, main_bench, main_service, main_fuzz]
     )
     def test_list_engines_flag(self, entry, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -128,6 +128,26 @@ class TestEngineDiscovery:
         for name in ("batched", "reference", "seqan", "ksw2", "logan"):
             assert name in out
         assert "inexact" in out  # ksw2's flag is rendered
+
+
+class TestModuleDispatcher:
+    """``python -m repro <tool>`` mirrors the console scripts."""
+
+    def test_usage_and_unknown_tool(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 2  # bare invocation is a usage error...
+        assert "tools:" in capsys.readouterr().out
+        assert main(["--help"]) == 0  # ...but asking for help is not
+        assert "tools:" in capsys.readouterr().out
+        assert main(["warp-drive"]) == 2
+        assert "unknown tool" in capsys.readouterr().err
+
+    def test_dispatches_to_fuzz(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fuzz", "--list-profiles"]) == 0
+        assert "pacbio" in capsys.readouterr().out
 
 
 class TestConfigFile:
@@ -299,3 +319,85 @@ class TestReproService:
         assert exit_code == 0
         payload = json.loads(capsys.readouterr().out)
         assert len(payload["workers"]) == 2
+
+
+class TestReproFuzz:
+    FAST = [
+        "--count", "16", "--batch", "8", "--quiet",
+        "--min-length", "50", "--max-length", "100",
+        "--engines", "reference", "--engines", "batched",
+    ]
+
+    def test_bounded_run_passes_and_reports(self, capsys):
+        exit_code = main_fuzz(["--seed", "0"] + self.FAST + ["--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["jobs"] >= 16
+        assert payload["service_checked"] is True
+        assert payload["failures"] == []
+
+    def test_list_profiles(self, capsys):
+        assert main_fuzz(["--list-profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pacbio", "degenerate", "xdrop_boundary"):
+            assert name in out
+
+    def test_no_service_flag(self, capsys):
+        exit_code = main_fuzz(
+            ["--seed", "1", "--no-service"] + self.FAST + ["--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service_checked"] is False
+
+    def test_profile_restriction(self, capsys):
+        exit_code = main_fuzz(
+            ["--seed", "2", "--profiles", "degenerate"] + self.FAST + ["--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["per_profile"]) == {"degenerate"}
+
+    def test_failure_exit_code_and_artifact(self, tmp_path, capsys):
+        from repro.engine import register_engine, unregister_engine
+        from repro.engine.engines import ReferenceEngine
+
+        class BrokenEngine(ReferenceEngine):
+            name = "broken_cli"
+            exact = True
+
+            def align_batch(self, jobs, scoring=None, xdrop=None):
+                batch = super().align_batch(jobs, scoring=scoring, xdrop=xdrop)
+                for res in batch.results:
+                    res.score += 1
+                return batch
+
+        register_engine("broken_cli", BrokenEngine)
+        try:
+            artifact = tmp_path / "fuzz-report.json"
+            exit_code = main_fuzz(
+                ["--seed", "0", "--count", "8", "--batch", "8", "--quiet",
+                 "--no-service", "--engines", "reference",
+                 "--engines", "broken_cli", "--artifact", str(artifact)]
+            )
+            assert exit_code == 1
+            out = capsys.readouterr().out
+            assert "FAILURE" in out and "replay" in out
+            payload = json.loads(artifact.read_text())
+            assert payload["ok"] is False
+            failure = payload["failures"][0]
+            assert failure["engine"] == "broken_cli"
+            assert failure["shrunk"] is True
+            assert failure["query"] and failure["target"]
+            assert failure["config"]["xdrop"] == 20  # the fuzz default config
+        finally:
+            unregister_engine("broken_cli")
+
+    def test_config_flags_reach_the_run(self, capsys):
+        exit_code = main_fuzz(
+            ["--seed", "3", "--xdrop", "5"] + self.FAST + ["--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True

@@ -101,9 +101,9 @@ class TestSimulateGenome:
         assert genome.sequence.max() <= 3
         assert genome.to_string()[:5].isalpha()
 
-    def test_deterministic_with_seed(self):
-        a = simulate_genome(1000, rng=np.random.default_rng(3))
-        b = simulate_genome(1000, rng=np.random.default_rng(3))
+    def test_deterministic_with_seed(self, make_rng):
+        a = simulate_genome(1000, rng=make_rng(3))
+        b = simulate_genome(1000, rng=make_rng(3))
         np.testing.assert_array_equal(a.sequence, b.sequence)
 
     def test_repeats_are_planted(self, rng):

@@ -72,8 +72,8 @@ class TestApplyErrors:
 
     @settings(max_examples=20, deadline=None)
     @given(total=st.floats(min_value=0.01, max_value=0.3))
-    def test_length_roughly_preserved_with_balanced_model(self, total):
-        rng = np.random.default_rng(11)
+    def test_length_roughly_preserved_with_balanced_model(self, make_rng, total):
+        rng = make_rng(11)
         seq = rng.integers(0, 4, 3000).astype(np.uint8)
         out = apply_errors(seq, ErrorModel.with_total(total), rng)
         # insertions (50 %) slightly outnumber deletions (30 %).

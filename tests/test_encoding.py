@@ -106,9 +106,9 @@ class TestRandomSequence:
         assert seq.dtype == np.uint8
         assert seq.max() <= 3
 
-    def test_deterministic_with_seed(self):
-        a = encoding.random_sequence(64, np.random.default_rng(1))
-        b = encoding.random_sequence(64, np.random.default_rng(1))
+    def test_deterministic_with_seed(self, make_rng):
+        a = encoding.random_sequence(64, make_rng(1))
+        b = encoding.random_sequence(64, make_rng(1))
         np.testing.assert_array_equal(a, b)
 
     def test_zero_length_raises(self):

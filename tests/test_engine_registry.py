@@ -201,8 +201,8 @@ class TestConsumersRouteThroughEngines:
         with pytest.raises(ConfigurationError, match="unknown extension engine"):
             LoganAligner(engine="warp-drive")
 
-    def test_bella_pipeline_accepts_engine_name(self):
-        reads = self._overlapping_reads()
+    def test_bella_pipeline_accepts_engine_name(self, make_rng):
+        reads = self._overlapping_reads(make_rng)
         by_name = BellaPipeline(engine="batched", k=13, xdrop=10, min_overlap=100)
         by_instance = BellaPipeline(
             aligner=get_engine("seqan", xdrop=10), k=13, min_overlap=100
@@ -223,8 +223,8 @@ class TestConsumersRouteThroughEngines:
         assert pipeline.aligner.name == "seqan"
 
     @staticmethod
-    def _overlapping_reads():
-        rng = np.random.default_rng(123)
+    def _overlapping_reads(make_rng):
+        rng = make_rng(123)
         template = rng.integers(0, 4, 700).astype(np.uint8)
         return [template[0:350], template[175:525], template[350:700]]
 

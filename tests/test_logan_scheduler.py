@@ -62,8 +62,8 @@ class TestSplitConservation:
         lengths=st.lists(st.integers(min_value=20, max_value=500), min_size=1, max_size=40),
         devices=st.integers(min_value=1, max_value=8),
     )
-    def test_conservation_property(self, lengths, devices):
-        rng = np.random.default_rng(0)
+    def test_conservation_property(self, make_rng, lengths, devices):
+        rng = make_rng(0)
         jobs = _jobs_with_lengths(lengths, rng)
         balancer = LoadBalancer(num_devices=devices, xdrop=30)
         assignments = balancer.split(jobs)
@@ -138,12 +138,12 @@ class TestServiceFacingEdgeCases:
             )
 
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
-    def test_cells_never_worse_than_count_on_skewed_lengths(self, seed):
+    def test_cells_never_worse_than_count_on_skewed_lengths(self, seed, make_rng):
         # Parity check backing the service's default "cells" policy: on
         # skewed length distributions (a few huge jobs, many small ones),
         # LPT-by-cells must never produce a worse max-shard than naive
         # round-robin by count.
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         lengths = list(rng.integers(2000, 5000, size=3)) + list(
             rng.integers(80, 300, size=29)
         )

@@ -1,0 +1,216 @@
+"""Tests of the scenario workload bank (repro.workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Seed
+from repro.core.encoding import WILDCARD_CODE
+from repro.core.job import AlignmentJob
+from repro.core.scoring import ScoringScheme
+from repro.core.seed_extend import extend_seed
+from repro.core.xdrop import xdrop_extend_reference
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    WorkloadBank,
+    WorkloadSpec,
+    describe_profiles,
+    generate_workload,
+    list_profiles,
+    register_profile,
+    unregister_profile,
+)
+
+ALL_PROFILES = list_profiles()
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            WorkloadSpec(count=0)
+        with pytest.raises(ConfigurationError, match="length range"):
+            WorkloadSpec(min_length=100, max_length=50)
+        with pytest.raises(ConfigurationError, match="error_rate"):
+            WorkloadSpec(error_rate=1.5)
+        with pytest.raises(ConfigurationError, match="xdrop"):
+            WorkloadSpec(xdrop=-1)
+
+    def test_profile_private_rng_streams(self):
+        spec = WorkloadSpec(seed=5)
+        a = spec.rng("pacbio").integers(0, 1 << 30, size=4)
+        b = spec.rng("ont").integers(0, 1 << 30, size=4)
+        assert not np.array_equal(a, b)  # profiles never share a stream
+        again = spec.rng("pacbio").integers(0, 1 << 30, size=4)
+        np.testing.assert_array_equal(a, again)
+
+
+class TestBankRegistry:
+    def test_builtin_profiles_registered(self):
+        expected = {
+            "pacbio",
+            "ont",
+            "homopolymer",
+            "tandem_repeat",
+            "inverted_repeat",
+            "length_skew",
+            "degenerate",
+            "xdrop_boundary",
+        }
+        assert expected <= set(ALL_PROFILES)
+
+    def test_describe_profiles_has_summaries(self):
+        rows = describe_profiles()
+        assert {r["name"] for r in rows} == set(ALL_PROFILES)
+        assert all(r["summary"] for r in rows)
+
+    def test_unknown_profile_names_alternatives(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            generate_workload("nanopore-ultra")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_profile("pacbio", lambda spec, rng: [])
+
+    def test_custom_profile_roundtrip(self):
+        def tiny(spec, rng):
+            for _ in range(spec.count):
+                yield "ACGTACGT", "ACGTACGT", Seed(0, 0, 4), {"custom": True}
+
+        register_profile("custom_tiny", tiny, "two-copy toy profile")
+        try:
+            wl = generate_workload("custom_tiny", WorkloadSpec(count=3))
+            assert len(wl.jobs) == 3
+            assert wl.meta[0]["custom"] is True
+        finally:
+            unregister_profile("custom_tiny")
+
+
+@pytest.mark.parametrize("profile", ALL_PROFILES)
+class TestEveryProfile:
+    SPEC = WorkloadSpec(count=10, seed=77, min_length=50, max_length=140, xdrop=15)
+
+    def test_deterministic_for_same_spec(self, profile):
+        a = generate_workload(profile, self.SPEC)
+        b = generate_workload(profile, self.SPEC)
+        assert len(a.jobs) == self.SPEC.count
+        for x, y in zip(a.jobs, b.jobs):
+            np.testing.assert_array_equal(x.query, y.query)
+            np.testing.assert_array_equal(x.target, y.target)
+            assert x.seed == y.seed
+
+    def test_seed_changes_content(self, profile):
+        a = generate_workload(profile, self.SPEC)
+        b = generate_workload(profile, WorkloadSpec(
+            count=10, seed=78, min_length=50, max_length=140, xdrop=15))
+        assert any(
+            not np.array_equal(x.query, y.query) for x, y in zip(a.jobs, b.jobs)
+        )
+
+    def test_jobs_are_valid_and_metadata_parallel(self, profile):
+        wl = generate_workload(profile, self.SPEC)
+        assert len(wl.meta) == len(wl.jobs)
+        for index, (job, meta) in enumerate(zip(wl.jobs, wl.meta)):
+            assert isinstance(job, AlignmentJob)
+            assert job.pair_id == index
+            assert meta["profile"] == profile
+            assert meta["index"] == index
+            # The seed anchor must fit both sequences (AlignmentJob and the
+            # kernels rely on it).
+            assert job.seed.query_end <= job.query_length
+            assert job.seed.target_end <= job.target_length
+
+    def test_replay_hint_mentions_spec(self, profile):
+        wl = generate_workload(profile, self.SPEC)
+        hint = wl.replay_hint()
+        assert profile in hint and "seed=77" in hint
+
+
+class TestProfileShapes:
+    """Each scenario family actually produces its advertised shape."""
+
+    def test_homopolymer_templates_are_runny(self):
+        wl = generate_workload(
+            "homopolymer", WorkloadSpec(count=6, seed=1, min_length=120, max_length=160)
+        )
+        for job in wl.jobs:
+            transitions = int(np.count_nonzero(np.diff(job.query.astype(np.int16))))
+            # Runs of >= 3 mean far fewer transitions than a uniform sequence.
+            assert transitions < 0.6 * job.query_length
+
+    def test_length_skew_is_extreme_in_both_orientations(self):
+        wl = generate_workload(
+            "length_skew", WorkloadSpec(count=8, seed=2, min_length=60, max_length=400)
+        )
+        ratios = [j.target_length / j.query_length for j in wl.jobs]
+        assert max(ratios) > 4 and min(ratios) < 0.25
+
+    def test_degenerate_covers_one_base_and_full_seed(self):
+        wl = generate_workload("degenerate", WorkloadSpec(count=12, seed=3))
+        shapes = {m["shape"] for m in wl.meta}
+        assert "one-base-match" in shapes and "seed-consumes-both" in shapes
+        one_base = [j for j, m in zip(wl.jobs, wl.meta) if m["shape"] == "one-base-match"]
+        assert all(j.query_length == j.target_length == 1 for j in one_base)
+
+    def test_tandem_repeat_has_copy_number_change(self):
+        wl = generate_workload("tandem_repeat", WorkloadSpec(count=4, seed=4))
+        for job, meta in zip(wl.jobs, wl.meta):
+            assert job.target_length > job.query_length  # +1 unit on the target
+
+    def test_inverted_repeat_contains_reverse_complement_arm(self):
+        wl = generate_workload(
+            "inverted_repeat",
+            WorkloadSpec(count=4, seed=5, error_rate=0.0, min_length=90, max_length=90),
+        )
+        meta = wl.meta[0]
+        assert meta["structure"] == "inverted-repeat"
+        assert meta["arm_length"] >= 8
+
+    def test_xdrop_boundary_ground_truth_matches_reference(self):
+        # The family's whole point: termination flips within +-1 cell of X,
+        # and the metadata predicts the reference kernel's behaviour exactly.
+        for xdrop in (0, 7, 20):
+            spec = WorkloadSpec(count=12, seed=6, xdrop=xdrop)
+            wl = generate_workload("xdrop_boundary", spec)
+            outcomes = set()
+            for job, meta in zip(wl.jobs, wl.meta):
+                res = extend_seed(
+                    job.query, job.target, job.seed,
+                    xdrop=xdrop, kernel=xdrop_extend_reference,
+                )
+                assert res.right.terminated_early == meta["expect_early_termination"]
+                outcomes.add(meta["expect_early_termination"])
+            assert outcomes == {True, False}  # both sides of the boundary
+
+    def test_xdrop_boundary_tail_is_wildcard(self):
+        wl = generate_workload("xdrop_boundary", WorkloadSpec(count=4, seed=8))
+        tailed = [
+            (j, m) for j, m in zip(wl.jobs, wl.meta) if m["mismatch_tail"] > 0
+        ]
+        assert tailed
+        job, meta = tailed[0]
+        assert int(job.query[-1]) == WILDCARD_CODE
+
+    def test_boundary_respects_custom_scoring(self):
+        scoring = ScoringScheme(match=2, mismatch=-3, gap=-2)
+        spec = WorkloadSpec(count=8, seed=9, xdrop=20, scoring=scoring)
+        wl = generate_workload("xdrop_boundary", spec)
+        for job, meta in zip(wl.jobs, wl.meta):
+            res = extend_seed(
+                job.query, job.target, job.seed,
+                scoring=scoring, xdrop=20, kernel=xdrop_extend_reference,
+            )
+            assert res.right.terminated_early == meta["expect_early_termination"]
+
+
+class TestWorkloadBankFacade:
+    def test_generate_all_covers_registry(self):
+        bank = WorkloadBank(WorkloadSpec(count=2, seed=10))
+        workloads = bank.generate_all()
+        assert [w.profile for w in workloads] == bank.profiles()
+
+    def test_override_is_per_call(self):
+        bank = WorkloadBank(WorkloadSpec(count=2, seed=10))
+        wl = bank.generate("pacbio", count=5)
+        assert len(wl.jobs) == 5
+        assert len(bank.generate("pacbio").jobs) == 2  # default untouched

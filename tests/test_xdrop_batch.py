@@ -50,18 +50,18 @@ def assert_matches_reference(pairs, scoring, xdrop):
 
 class TestBatchKernelParity:
     @pytest.mark.parametrize("xdrop", [0, 3, 25, 100])
-    def test_random_batches_match_reference(self, xdrop):
-        rng = np.random.default_rng(xdrop + 11)
+    def test_random_batches_match_reference(self, xdrop, make_rng):
+        rng = make_rng(xdrop + 11)
         pairs = random_pairs(rng, 24)
         assert_matches_reference(pairs, ScoringScheme(), xdrop)
 
-    def test_nondefault_scoring(self):
-        rng = np.random.default_rng(5)
+    def test_nondefault_scoring(self, make_rng):
+        rng = make_rng(5)
         pairs = random_pairs(rng, 12)
         assert_matches_reference(pairs, ScoringScheme(match=2, mismatch=-3, gap=-2), 30)
 
-    def test_singleton_batch_matches_per_pair(self):
-        rng = np.random.default_rng(9)
+    def test_singleton_batch_matches_per_pair(self, make_rng):
+        rng = make_rng(9)
         pairs = random_pairs(rng, 1)
         assert_matches_reference(pairs, ScoringScheme(), 40)
 
@@ -71,8 +71,8 @@ class TestBatchKernelParity:
         assert results[0].best_score == 8
         assert results[1].best_score == 0
 
-    def test_identical_sequences_full_score(self):
-        seq = random_sequence(150, rng=np.random.default_rng(2))
+    def test_identical_sequences_full_score(self, make_rng):
+        seq = random_sequence(150, rng=make_rng(2))
         results = xdrop_extend_batch([(seq, seq)] * 3, ScoringScheme(), xdrop=50)
         for res in results:
             assert res.best_score == 150
@@ -99,8 +99,8 @@ class TestBatchKernelEdges:
         results = xdrop_extend_batch([("ACGT", "ACGT")], ScoringScheme(), xdrop=10)
         assert results[0].band_widths is None
 
-    def test_widely_varying_lengths(self):
-        rng = np.random.default_rng(17)
+    def test_widely_varying_lengths(self, make_rng):
+        rng = make_rng(17)
         base = random_sequence(400, rng=rng)
         pairs = [
             (base[:5], base[:400]),
