@@ -1,27 +1,26 @@
 #!/usr/bin/env python
-"""Reproducible engine micro-benchmark.
+"""Reproducible engine micro-benchmark (wrapper over :mod:`repro.bench`).
 
 Times every registered alignment engine on one fixed-seed batch (default:
-256 jobs, the batch size of the acceptance criterion) and writes
-``BENCH_engines.json`` next to the repository root with per-engine wall
-clock, GCUPS and speed-up over the per-job scalar reference loop.  Exact
-engines are additionally checked for bit-identical scores against the
-reference.
+256 jobs, the batch size of the acceptance criterion), prints the entry,
+gates it against the stored trajectory in ``BENCH_engines.json`` and — with
+``--record`` — appends it.  Exact engines are additionally checked for
+bit-identical scores against the reference.
 
 Run from the repository root::
 
-    PYTHONPATH=src python benchmarks/bench_engines.py [--pairs 256] [--xdrop 50]
+    PYTHONPATH=src python benchmarks/bench_engines.py [--pairs 256] [--record]
 
 The headline reproduction of the paper's Table I story: the inter-sequence
 ``batched`` engine must be at least 3x faster than the scalar per-job loop
-(in practice it lands at >4x on mid-seed pairs, >10x on seed-at-start
-pairs) while producing identical scores.
+(with active-row compaction + tiling it lands near 10x on mid-seed pairs)
+while producing identical scores.  The full history lives in the
+trajectory file; ``repro-bench perf`` is the subsystem's first-class CLI.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -29,32 +28,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-# Resolve the harness whether run as a script (benchmarks/ on sys.path)
-# or imported as a package module.
-try:
-    import harness
-except ImportError:  # pragma: no cover - package-style invocation
-    from benchmarks import harness
-
-from repro.core import ScoringScheme  # noqa: E402
-from repro.data import PairSetSpec, generate_pair_set  # noqa: E402
+from repro.bench import BaselineStore, compare, run_engine_bench  # noqa: E402
 
 OUTPUT = REPO_ROOT / "BENCH_engines.json"
-
-
-def build_batch(pairs: int, rng_seed: int) -> list:
-    """The fixed benchmark batch: 300-600 bp related pairs, mid-read seeds."""
-    return generate_pair_set(
-        PairSetSpec(
-            num_pairs=pairs,
-            min_length=300,
-            max_length=600,
-            pairwise_error_rate=0.15,
-            unrelated_fraction=0.1,
-            seed_placement="middle",
-            rng_seed=rng_seed,
-        )
-    )
 
 
 def main(argv=None) -> int:
@@ -65,49 +41,50 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engines", nargs="*", default=None, help="subset of engines to time"
     )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timed runs per engine (best kept)"
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append the entry to the BENCH_engines.json trajectory",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30, help="regression gate tolerance"
+    )
     args = parser.parse_args(argv)
 
-    scoring = ScoringScheme()
-    jobs = build_batch(args.pairs, args.seed)
-    print(f"batch: {len(jobs)} jobs, X={args.xdrop}, seed={args.seed}")
-
-    rows = harness.compare_engines(
-        jobs, xdrop=args.xdrop, engines=args.engines, scoring=scoring
+    entry = run_engine_bench(
+        pairs=args.pairs,
+        xdrop=args.xdrop,
+        seed=args.seed,
+        engines=args.engines,
+        repeats=args.repeats,
     )
-    for row in rows:
-        print(
-            f"{row['engine']:>12s}: {row['measured_seconds']:8.3f}s "
-            f"{row['measured_gcups']:8.4f} GCUPS "
-            f"{row['speedup_vs_scalar']:7.2f}x vs scalar  "
-            f"exact={row['scores_identical_to_reference']}"
-        )
+    print(entry.formatted())
 
-    payload = {
-        "batch_size": len(jobs),
-        "xdrop": args.xdrop,
-        "rng_seed": args.seed,
-        "scoring": {"match": scoring.match, "mismatch": scoring.mismatch, "gap": scoring.gap},
-        "engines": rows,
-    }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {OUTPUT}")
+    store = BaselineStore(OUTPUT)
+    report = compare(entry, store.latest_matching(entry), tolerance=args.tolerance)
+    print(report.formatted())
+    if args.record:
+        store.append(entry)
+        print(f"recorded entry in {OUTPUT}")
 
-    by_name = {row["engine"]: row for row in rows}
-    batched = by_name.get("batched")
-    failed = False
+    failed = not report.ok
+    batched = entry.row("batched")
     if batched is not None:
-        if not batched["scores_identical_to_reference"]:
+        if not batched.scores_identical_to_reference:
             print("FAIL: batched engine scores diverge from the scalar reference")
             failed = True
-        if batched["speedup_vs_scalar"] < 3.0:
+        if batched.speedup_vs_scalar < 3.0:
             print(
                 "FAIL: batched engine speed-up "
-                f"{batched['speedup_vs_scalar']:.2f}x is below the 3x floor"
+                f"{batched.speedup_vs_scalar:.2f}x is below the 3x floor"
             )
             failed = True
         if not failed:
             print(
-                f"OK: batched engine {batched['speedup_vs_scalar']:.1f}x faster than "
+                f"OK: batched engine {batched.speedup_vs_scalar:.1f}x faster than "
                 "the scalar loop with identical scores"
             )
     return 1 if failed else 0

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Service-layer benchmark: batching + cache benefit over per-job submission.
+"""Service-layer benchmark (wrapper over :mod:`repro.bench`).
 
 Runs the same fixed-seed mixed-length workload three ways —
 
@@ -12,10 +12,8 @@ Runs the same fixed-seed mixed-length workload three ways —
                     batching, sharded workers), then a second submission
                     round that must be answered from the result cache
 
-— and writes ``BENCH_service.json`` next to the repository root.  The
-checked-in acceptance numbers: service throughput >= per-job submission
-throughput, score parity with the direct batch, and a nonzero cache hit
-rate on resubmission.
+— prints the entry, gates it against the ``BENCH_service.json`` trajectory
+and appends it with ``--record``.
 
 Run from the repository root::
 
@@ -29,7 +27,6 @@ cache behaviour.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -37,29 +34,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.api import AlignConfig, ServiceConfig  # noqa: E402
-from repro.core import ScoringScheme  # noqa: E402
-from repro.data import PairSetSpec, generate_pair_set  # noqa: E402
-from repro.engine import get_engine  # noqa: E402
-from repro.perf import Timer, gcups  # noqa: E402
-from repro.service import AlignmentService  # noqa: E402
+from repro.bench import BaselineStore, compare, run_service_bench  # noqa: E402
 
 OUTPUT = REPO_ROOT / "BENCH_service.json"
-
-
-def build_batch(pairs: int, rng_seed: int) -> list:
-    """Mixed-length workload (200-900 bp) with mid-read seeds."""
-    return generate_pair_set(
-        PairSetSpec(
-            num_pairs=pairs,
-            min_length=200,
-            max_length=900,
-            pairwise_error_rate=0.15,
-            unrelated_fraction=0.1,
-            seed_placement="middle",
-            rng_seed=rng_seed,
-        )
-    )
 
 
 def main(argv=None) -> int:
@@ -70,132 +47,63 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-size", type=int, default=48, help="service batch bound")
     parser.add_argument("--workers", type=int, default=1, help="service worker shards")
     parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append the entry to the BENCH_service.json trajectory",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30, help="regression gate tolerance"
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny workload, correctness checks only (no timing assertion)",
     )
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        args.pairs = min(args.pairs, 24)
-        args.batch_size = min(args.batch_size, 8)
-
-    scoring = ScoringScheme()
-    jobs = build_batch(args.pairs, args.seed)
-    print(f"workload: {len(jobs)} jobs, X={args.xdrop}, seed={args.seed}")
-
-    engine = get_engine("batched", scoring=scoring, xdrop=args.xdrop)
-
-    # 1. Direct: the whole workload in one engine batch.
-    direct_timer = Timer()
-    with direct_timer:
-        direct = engine.align_batch(jobs)
-    direct_gcups = gcups(direct.summary.cells, direct_timer.elapsed)
-
-    # 2. Per-job: one engine call per request (no batching, no cache).
-    per_job_timer = Timer()
-    per_job_scores = []
-    with per_job_timer:
-        for job in jobs:
-            per_job_scores.append(engine.align_batch([job]).scores()[0])
-    per_job_gcups = gcups(direct.summary.cells, per_job_timer.elapsed)
-
-    # 3. Service: individual submissions, adaptive batching, then a cached
-    #    resubmission round.
-    service = AlignmentService(
-        config=AlignConfig(
-            engine="batched",
-            scoring=scoring,
-            xdrop=args.xdrop,
-            bin_width=500,
-            service=ServiceConfig(
-                num_workers=args.workers,
-                max_batch_size=args.batch_size,
-                cache_capacity=4 * len(jobs),
-            ),
-        )
+    entry = run_service_bench(
+        pairs=args.pairs,
+        xdrop=args.xdrop,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        quick=args.smoke,
     )
-    service_timer = Timer()
-    with service_timer:
-        tickets = service.submit_many(jobs)
-        service.drain()
-        service_scores = [t.result(timeout=120.0).score for t in tickets]
-    service_gcups = gcups(direct.summary.cells, service_timer.elapsed)
-
-    resubmit_timer = Timer()
-    with resubmit_timer:
-        tickets2 = service.submit_many(jobs)
-        service.drain()
-        resubmit_scores = [t.result(timeout=120.0).score for t in tickets2]
-    stats = service.stats()
-    service.shutdown()
-
-    rows = {
-        "direct": {"seconds": direct_timer.elapsed, "gcups": direct_gcups},
-        "per_job": {"seconds": per_job_timer.elapsed, "gcups": per_job_gcups},
-        "service": {
-            "seconds": service_timer.elapsed,
-            "gcups": service_gcups,
-            "batches_formed": stats.batches_formed,
-            "mean_batch_size": stats.mean_batch_size,
-            "flush_reasons": stats.flush_reasons,
-        },
-        "service_resubmit": {
-            "seconds": resubmit_timer.elapsed,
-            "cache_hit_rate": stats.cache.hit_rate,
-            "cache_hits": stats.cache.hits,
-        },
-    }
-    for name, row in rows.items():
-        extra = f" {row['gcups']:8.4f} GCUPS" if "gcups" in row else ""
-        print(f"{name:>18s}: {row['seconds']:8.3f}s{extra}")
-    speedup_vs_per_job = (
-        per_job_timer.elapsed / service_timer.elapsed
-        if service_timer.elapsed > 0
-        else 0.0
-    )
+    print(entry.formatted())
     print(
-        f"service vs per-job: {speedup_vs_per_job:.2f}x, "
-        f"cache hit rate {stats.cache.hit_rate:.2f}, "
-        f"mean batch {stats.mean_batch_size:.1f}"
+        f"batches formed: {entry.extra['batches_formed']}, "
+        f"mean batch {entry.extra['mean_batch_size']:.1f}, "
+        f"cache hit rate {entry.extra['cache_hit_rate']:.2f}, "
+        f"kernel live fraction {entry.extra['kernel_live_fraction']}"
     )
-
-    payload = {
-        "workload": {
-            "pairs": len(jobs),
-            "xdrop": args.xdrop,
-            "rng_seed": args.seed,
-            "cells": direct.summary.cells,
-            "smoke": args.smoke,
-        },
-        "service_config": {
-            "batch_size": args.batch_size,
-            "workers": args.workers,
-            "bin_width": 500,
-        },
-        "rows": rows,
-        "service_speedup_vs_per_job": speedup_vs_per_job,
-    }
-    if not args.smoke:
-        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {OUTPUT}")
 
     failed = False
-    if service_scores != direct.scores() or resubmit_scores != direct.scores():
-        print("FAIL: service scores diverge from the direct batch call")
-        failed = True
-    if per_job_scores != direct.scores():
-        print("FAIL: per-job scores diverge from the direct batch call")
-        failed = True
-    if stats.cache.hit_rate <= 0:
+    if not args.smoke:
+        store = BaselineStore(OUTPUT)
+        report = compare(
+            entry, store.latest_matching(entry), tolerance=args.tolerance
+        )
+        print(report.formatted())
+        failed = not report.ok
+        if args.record:
+            store.append(entry)
+            print(f"recorded entry in {OUTPUT}")
+
+    rows = {row.engine: row for row in entry.rows}
+    for name in ("per_job", "service", "service_resubmit"):
+        if not rows[name].scores_identical_to_reference:
+            print(f"FAIL: {name} scores diverge from the direct batch call")
+            failed = True
+    if entry.extra["cache_hit_rate"] <= 0:
         print("FAIL: resubmission produced no cache hits")
         failed = True
-    if stats.batches_formed < 1 or stats.mean_batch_size <= 1.0:
+    if entry.extra["batches_formed"] < 1 or entry.extra["mean_batch_size"] <= 1.0:
         print("FAIL: the batcher never formed a multi-job batch")
         failed = True
-    if not args.smoke and speedup_vs_per_job < 1.0:
+    service_speedup = rows["service"].speedup_vs_scalar
+    if not args.smoke and service_speedup < 1.0:
         print(
-            f"FAIL: service throughput {speedup_vs_per_job:.2f}x is below "
+            f"FAIL: service throughput {service_speedup:.2f}x is below "
             "per-job submission"
         )
         failed = True

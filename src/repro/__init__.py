@@ -82,6 +82,7 @@ from .core import (
     random_sequence,
     reverse_complement,
     xdrop_extend,
+    BatchKernelStats,
     xdrop_extend_batch,
     xdrop_extend_reference,
 )
@@ -107,6 +108,7 @@ __all__ = [
     "random_sequence",
     "reverse_complement",
     "xdrop_extend",
+    "BatchKernelStats",
     "xdrop_extend_batch",
     "xdrop_extend_reference",
     "exact_extension_score",

@@ -1,0 +1,56 @@
+"""Benchmark subsystem: measured performance as a recorded, gated trajectory.
+
+Ad-hoc benchmark scripts produce one-off snapshots; this package promotes
+benchmarking to a first-class subsystem so the repository's performance
+story is *cumulative* and *enforced*:
+
+* :mod:`repro.bench.schema` — typed results: :class:`BenchResult` (one
+  engine row: wall clock, GCUPS, speed-up over the scalar reference,
+  score-parity flag, kernel telemetry) and :class:`BenchEntry` (one
+  trajectory point: the workload signature plus its rows and a timestamp).
+* :mod:`repro.bench.runner` — deterministic measurement:
+  :func:`run_engine_bench` times every requested engine on a fixed-seed
+  pair set (checking exact engines bit-for-bit against the reference) and
+  :func:`run_service_bench` times the serving layer against direct and
+  per-job submission.
+* :mod:`repro.bench.store` — :class:`BaselineStore`, an append-only
+  trajectory persisted in ``BENCH_engines.json`` / ``BENCH_service.json``
+  at the repository root.  Every recorded run *appends* an entry (the
+  legacy single-snapshot files are read as a one-entry trajectory), so the
+  perf history of the codebase is diffable in version control.
+* :mod:`repro.bench.compare` — :func:`compare` gates a fresh entry against
+  the stored baseline with a configurable regression tolerance; the
+  ``repro-bench perf`` CLI and the CI perf-smoke job fail on a regression
+  beyond it.
+
+Typical flow (see the README "Performance" section)::
+
+    from repro.bench import BaselineStore, compare, run_engine_bench
+
+    entry = run_engine_bench(pairs=256, xdrop=50, seed=2020)
+    store = BaselineStore("BENCH_engines.json")
+    report = compare(entry, store.latest_matching(entry), tolerance=0.30)
+    if report.ok:
+        store.append(entry)          # extend the committed trajectory
+
+Comparisons default to the ``speedup_vs_scalar`` metric because it is
+normalised by the same-run scalar reference, which makes entries recorded
+on different machines comparable; raw seconds/GCUPS are stored alongside
+for same-machine trend reading.
+"""
+
+from .compare import ComparisonReport, MetricDelta, compare
+from .runner import run_engine_bench, run_service_bench
+from .schema import BenchEntry, BenchResult
+from .store import BaselineStore
+
+__all__ = [
+    "BaselineStore",
+    "BenchEntry",
+    "BenchResult",
+    "ComparisonReport",
+    "MetricDelta",
+    "compare",
+    "run_engine_bench",
+    "run_service_bench",
+]

@@ -1,0 +1,263 @@
+"""Deterministic benchmark runners for the engine and service layers.
+
+Both runners build the same fixed-seed synthetic workloads the historic
+``benchmarks/bench_engines.py`` / ``benchmarks/bench_service.py`` scripts
+used, so freshly measured entries are directly comparable with the
+trajectory recorded before the subsystem existed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.job import AlignmentJob
+from ..core.scoring import ScoringScheme
+from ..data import PairSetSpec, generate_pair_set
+from ..engine import get_engine, list_engines
+from ..errors import ConfigurationError
+from ..perf.metrics import gcups
+from ..perf.timers import Timer
+from .schema import BenchEntry, BenchResult
+
+__all__ = [
+    "engine_bench_jobs",
+    "service_bench_jobs",
+    "run_engine_bench",
+    "run_service_bench",
+]
+
+#: Workload shrink factors of ``quick`` mode (CI smoke scale).
+_QUICK_PAIRS = 64
+_QUICK_ENGINES = ("reference", "batched")
+
+
+def engine_bench_jobs(pairs: int, rng_seed: int) -> list[AlignmentJob]:
+    """The fixed engine-benchmark batch: 300-600 bp pairs, mid-read seeds."""
+    return generate_pair_set(
+        PairSetSpec(
+            num_pairs=pairs,
+            min_length=300,
+            max_length=600,
+            pairwise_error_rate=0.15,
+            unrelated_fraction=0.1,
+            seed_placement="middle",
+            rng_seed=rng_seed,
+        )
+    )
+
+
+def service_bench_jobs(pairs: int, rng_seed: int) -> list[AlignmentJob]:
+    """The fixed service-benchmark workload: 200-900 bp, mid-read seeds."""
+    return generate_pair_set(
+        PairSetSpec(
+            num_pairs=pairs,
+            min_length=200,
+            max_length=900,
+            pairwise_error_rate=0.15,
+            unrelated_fraction=0.1,
+            seed_placement="middle",
+            rng_seed=rng_seed,
+        )
+    )
+
+
+def run_engine_bench(
+    pairs: int = 256,
+    xdrop: int = 50,
+    seed: int = 2020,
+    engines: Sequence[str] | None = None,
+    scoring: ScoringScheme | None = None,
+    repeats: int = 1,
+    quick: bool = False,
+    label: str = "",
+) -> BenchEntry:
+    """Time the requested engines on one fixed-seed batch.
+
+    The scalar ``reference`` engine is always executed — it is the speed-up
+    denominator and the score oracle — even when *engines* excludes it from
+    the reported rows.  Exact engines are checked for bit-identical scores.
+    With ``repeats > 1`` each engine reports its fastest run (noise floor
+    for the regression gate).  ``quick`` shrinks the workload to the CI
+    smoke scale and restricts the default engine set to
+    ``reference``/``batched``.
+    """
+    if pairs <= 0:
+        raise ConfigurationError(f"pairs must be positive, got {pairs}")
+    if repeats <= 0:
+        raise ConfigurationError(f"repeats must be positive, got {repeats}")
+    if quick:
+        pairs = min(pairs, _QUICK_PAIRS)
+    scoring = scoring if scoring is not None else ScoringScheme()
+    names = list(engines) if engines else (
+        list(_QUICK_ENGINES) if quick else list_engines()
+    )
+    unknown = sorted(set(names) - set(list_engines()))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown engine(s) {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(list_engines())}"
+        )
+    jobs = engine_bench_jobs(pairs, seed)
+
+    def best_run(name: str):
+        engine = get_engine(name, scoring=scoring, xdrop=xdrop)
+        best = None
+        for _ in range(repeats):
+            batch = engine.align_batch(jobs)
+            if best is None or batch.elapsed_seconds < best.elapsed_seconds:
+                best = batch
+        return best
+
+    ref_batch = best_run("reference")
+    ref_scores = ref_batch.scores()
+
+    rows: list[BenchResult] = []
+    for name in names:
+        batch = ref_batch if name == "reference" else best_run(name)
+        kernel_stats = batch.extras.get("kernel_stats")
+        rows.append(
+            BenchResult(
+                engine=name,
+                measured_seconds=batch.elapsed_seconds,
+                measured_gcups=batch.measured_gcups(),
+                speedup_vs_scalar=(
+                    ref_batch.elapsed_seconds / batch.elapsed_seconds
+                    if batch.elapsed_seconds > 0
+                    else float("inf")
+                ),
+                scores_identical_to_reference=batch.scores() == ref_scores,
+                modeled_seconds=batch.modeled_seconds,
+                cells=batch.summary.cells,
+                kernel=kernel_stats.to_dict() if kernel_stats is not None else None,
+            )
+        )
+    return BenchEntry(
+        kind="engines",
+        label=label,
+        batch_size=len(jobs),
+        xdrop=xdrop,
+        rng_seed=seed,
+        scoring={
+            "match": scoring.match,
+            "mismatch": scoring.mismatch,
+            "gap": scoring.gap,
+        },
+        quick=quick,
+        rows=rows,
+    )
+
+
+def run_service_bench(
+    pairs: int = 192,
+    xdrop: int = 50,
+    seed: int = 2020,
+    batch_size: int = 48,
+    workers: int = 1,
+    quick: bool = False,
+    label: str = "",
+) -> BenchEntry:
+    """Time the serving layer three ways on one fixed-seed workload.
+
+    Rows: ``direct`` (one engine batch — the offline upper bound),
+    ``per_job`` (one engine call per request — what the service replaces)
+    and ``service`` (individual submissions through the adaptive batcher,
+    plus a cache-served resubmission round recorded in ``extra``).  The
+    ``speedup_vs_scalar`` column of the service rows is the speed-up over
+    *per-job submission* — the serving layer's own scalar baseline.
+    """
+    from ..api import AlignConfig, ServiceConfig
+    from ..service import AlignmentService
+
+    if quick:
+        pairs = min(pairs, 24)
+        batch_size = min(batch_size, 8)
+    scoring = ScoringScheme()
+    jobs = service_bench_jobs(pairs, seed)
+    engine = get_engine("batched", scoring=scoring, xdrop=xdrop)
+
+    direct_timer = Timer()
+    with direct_timer:
+        direct = engine.align_batch(jobs)
+
+    per_job_timer = Timer()
+    per_job_scores = []
+    with per_job_timer:
+        for job in jobs:
+            per_job_scores.append(engine.align_batch([job]).scores()[0])
+
+    service = AlignmentService(
+        config=AlignConfig(
+            engine="batched",
+            scoring=scoring,
+            xdrop=xdrop,
+            bin_width=500,
+            service=ServiceConfig(
+                num_workers=workers,
+                max_batch_size=batch_size,
+                cache_capacity=4 * len(jobs),
+            ),
+        )
+    )
+    service_timer = Timer()
+    with service_timer:
+        tickets = service.submit_many(jobs)
+        service.drain()
+        service_scores = [t.result(timeout=120.0).score for t in tickets]
+    resubmit_timer = Timer()
+    with resubmit_timer:
+        tickets2 = service.submit_many(jobs)
+        service.drain()
+        resubmit_scores = [t.result(timeout=120.0).score for t in tickets2]
+    stats = service.stats()
+    service.shutdown()
+
+    cells = direct.summary.cells
+
+    def row(name: str, seconds: float, identical: bool) -> BenchResult:
+        return BenchResult(
+            engine=name,
+            measured_seconds=seconds,
+            measured_gcups=gcups(cells, seconds),
+            speedup_vs_scalar=(
+                per_job_timer.elapsed / seconds if seconds > 0 else float("inf")
+            ),
+            scores_identical_to_reference=identical,
+            cells=cells,
+        )
+
+    entry = BenchEntry(
+        kind="service",
+        label=label,
+        batch_size=len(jobs),
+        xdrop=xdrop,
+        rng_seed=seed,
+        scoring={
+            "match": scoring.match,
+            "mismatch": scoring.mismatch,
+            "gap": scoring.gap,
+        },
+        quick=quick,
+        rows=[
+            row("direct", direct_timer.elapsed, True),
+            row("per_job", per_job_timer.elapsed, per_job_scores == direct.scores()),
+            row("service", service_timer.elapsed, service_scores == direct.scores()),
+            row(
+                "service_resubmit",
+                resubmit_timer.elapsed,
+                resubmit_scores == direct.scores(),
+            ),
+        ],
+        extra={
+            "service_config": {
+                "batch_size": batch_size,
+                "workers": workers,
+                "bin_width": 500,
+            },
+            "batches_formed": stats.batches_formed,
+            "mean_batch_size": stats.mean_batch_size,
+            "cache_hit_rate": stats.cache.hit_rate,
+            "kernel_live_fraction": stats.kernel_live_fraction,
+            "suggested_batch_size": stats.suggested_batch_size,
+        },
+    )
+    return entry

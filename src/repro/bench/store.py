@@ -1,0 +1,147 @@
+"""Append-only baseline store for performance trajectories.
+
+A :class:`BaselineStore` wraps one JSON file (``BENCH_engines.json`` /
+``BENCH_service.json`` at the repository root) holding::
+
+    {
+      "schema": "repro-bench-trajectory/1",
+      "trajectory": [ <BenchEntry dict>, ... ]     # oldest first
+    }
+
+Entries are only ever appended — the stored trajectory is the project's
+recorded performance history, diffable in version control.  The legacy
+single-snapshot formats the pre-subsystem scripts wrote are read
+transparently as a one-entry trajectory, so the first recorded baseline
+(the pre-compaction kernel) remains the comparison anchor.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .schema import BenchEntry, BenchResult
+
+__all__ = ["BaselineStore"]
+
+_SCHEMA = "repro-bench-trajectory/1"
+
+
+def _legacy_engines_entry(data: dict) -> BenchEntry:
+    """Convert the pre-subsystem ``BENCH_engines.json`` snapshot."""
+    return BenchEntry(
+        kind="engines",
+        label="legacy snapshot (pre-bench-subsystem)",
+        timestamp="legacy",
+        batch_size=int(data.get("batch_size", 0)),
+        xdrop=int(data.get("xdrop", 0)),
+        rng_seed=int(data.get("rng_seed", 0)),
+        scoring={k: int(v) for k, v in dict(data.get("scoring", {})).items()},
+        rows=[BenchResult.from_dict(row) for row in data.get("engines", [])],
+    )
+
+
+def _legacy_service_entry(data: dict) -> BenchEntry:
+    """Convert the pre-subsystem ``BENCH_service.json`` snapshot."""
+    workload = dict(data.get("workload", {}))
+    rows = []
+    per_job_seconds = float(
+        dict(data.get("rows", {})).get("per_job", {}).get("seconds", 0.0)
+    )
+    for name, row in dict(data.get("rows", {})).items():
+        seconds = float(row.get("seconds", 0.0))
+        rows.append(
+            BenchResult(
+                engine=name,
+                measured_seconds=seconds,
+                measured_gcups=float(row.get("gcups", 0.0)),
+                speedup_vs_scalar=(
+                    per_job_seconds / seconds if seconds > 0 else 0.0
+                ),
+                scores_identical_to_reference=True,
+                cells=int(workload.get("cells", 0)),
+            )
+        )
+    return BenchEntry(
+        kind="service",
+        label="legacy snapshot (pre-bench-subsystem)",
+        timestamp="legacy",
+        batch_size=int(workload.get("pairs", 0)),
+        xdrop=int(workload.get("xdrop", 0)),
+        rng_seed=int(workload.get("rng_seed", 0)),
+        # The legacy script always benchmarked the default scoring scheme
+        # (it recorded no scoring field).
+        scoring={"match": 1, "mismatch": -1, "gap": -1},
+        quick=bool(workload.get("smoke", False)),
+        rows=rows,
+        extra={"service_config": dict(data.get("service_config", {}))},
+    )
+
+
+class BaselineStore:
+    """Reads/appends one trajectory file; never rewrites recorded entries.
+
+    Parameters
+    ----------
+    path:
+        The JSON file (created on first :meth:`append` if missing).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ #
+    def load(self) -> list[BenchEntry]:
+        """The stored trajectory, oldest first (empty for a missing file)."""
+        if not self.path.exists():
+            return []
+        try:
+            data = json.loads(self.path.read_text())
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"baseline store {self.path} is not valid JSON: {error}"
+            ) from error
+        if isinstance(data, dict) and "trajectory" in data:
+            return [BenchEntry.from_dict(e) for e in data["trajectory"]]
+        # Legacy single-snapshot formats become a one-entry trajectory.
+        if isinstance(data, dict) and "engines" in data:
+            return [_legacy_engines_entry(data)]
+        if isinstance(data, dict) and "rows" in data:
+            return [_legacy_service_entry(data)]
+        raise ConfigurationError(
+            f"baseline store {self.path} has an unrecognised layout "
+            "(expected a trajectory or a legacy benchmark snapshot)"
+        )
+
+    def latest(self, kind: str | None = None) -> BenchEntry | None:
+        """Most recent entry (optionally restricted to one ``kind``)."""
+        entries = self.load()
+        for entry in reversed(entries):
+            if kind is None or entry.kind == kind:
+                return entry
+        return None
+
+    def latest_matching(self, entry: BenchEntry) -> BenchEntry | None:
+        """Most recent stored entry with *entry*'s workload signature.
+
+        Only entries measuring the *same* workload (kind, batch size, X,
+        seed, scoring, quick flag) are comparable; ``None`` means nothing
+        comparable is stored yet (first recording of this signature).
+        """
+        entries = self.load()
+        for stored in reversed(entries):
+            if stored.signature() == entry.signature():
+                return stored
+        return None
+
+    # ------------------------------------------------------------------ #
+    def append(self, entry: BenchEntry) -> None:
+        """Append *entry* and persist the full trajectory."""
+        trajectory = self.load()
+        trajectory.append(entry)
+        payload = {
+            "schema": _SCHEMA,
+            "trajectory": [e.to_dict() for e in trajectory],
+        }
+        self.path.write_text(json.dumps(payload, indent=2) + "\n")

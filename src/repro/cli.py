@@ -13,7 +13,12 @@ Five console scripts are installed with the package:
 
 ``repro-bench``
     Regenerate one of the paper's tables/figures from the benchmark harness
-    without going through pytest (useful for quick sweeps).
+    without going through pytest (useful for quick sweeps), or — as
+    ``repro-bench perf`` — run the benchmark subsystem
+    (:mod:`repro.bench`): measure the engines/service on fixed workloads,
+    gate against the stored baseline trajectory (``BENCH_engines.json`` /
+    ``BENCH_service.json``) with a configurable regression tolerance, and
+    append the fresh entry to the committed trajectory.
 
 ``repro-service``
     Drive the asynchronous alignment service: ``serve`` runs a workload
@@ -55,7 +60,14 @@ from .data import PairSetSpec, generate_pair_set, load_dataset, read_fasta
 from .engine import describe_engines, list_engines
 from .logan import LoganAligner
 
-__all__ = ["main_align", "main_bella", "main_bench", "main_service", "main_fuzz"]
+__all__ = [
+    "main_align",
+    "main_bella",
+    "main_bench",
+    "main_bench_perf",
+    "main_service",
+    "main_fuzz",
+]
 
 
 class _ListEnginesAction(argparse.Action):
@@ -311,11 +323,188 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
 # --------------------------------------------------------------------------- #
 # repro-bench
 # --------------------------------------------------------------------------- #
+def main_bench_perf(argv: Sequence[str] | None = None) -> int:
+    """``repro-bench perf``: measure, gate and record the perf trajectory.
+
+    Times the engine layer (and optionally the serving layer) on the fixed
+    benchmark workloads, compares the fresh entry against the stored
+    baseline in ``BENCH_engines.json`` / ``BENCH_service.json`` with a
+    configurable regression tolerance, and — with ``--record`` — appends
+    the entry to the committed trajectory.  Exit status 1 on a regression
+    beyond the tolerance (the CI perf-smoke gate) or on a score-parity
+    violation.
+    """
+    from .bench import BaselineStore, compare, run_engine_bench, run_service_bench
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench perf",
+        description=(
+            "Benchmark the alignment engines/service, gate the result "
+            "against the stored baseline trajectory, and optionally record it."
+        ),
+    )
+    parser.add_argument("--pairs", type=int, default=256, help="engine batch size")
+    parser.add_argument("--xdrop", type=int, default=50, help="X-drop threshold")
+    parser.add_argument("--seed", type=int, default=2020, help="workload RNG seed")
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="timed runs per engine (best kept)"
+    )
+    parser.add_argument(
+        "--engines",
+        nargs="*",
+        default=None,
+        help="subset of engines to time (default: all; quick: reference+batched)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke scale: small batch, reference+batched engines only",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="also benchmark the serving layer (BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default="BENCH_engines.json",
+        help="engine trajectory file (default: BENCH_engines.json)",
+    )
+    parser.add_argument(
+        "--service-baseline",
+        type=str,
+        default="BENCH_service.json",
+        help="service trajectory file (default: BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the regression gate against the stored baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="fractional regression tolerance of the gate (default 0.30)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=["speedup_vs_scalar", "measured_seconds", "measured_gcups"],
+        default="speedup_vs_scalar",
+        help="gated metric (default: host-normalised speedup_vs_scalar)",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append the fresh entry to the trajectory file(s)",
+    )
+    parser.add_argument("--label", type=str, default="", help="entry label")
+    parser.add_argument(
+        "--artifact",
+        type=str,
+        default=None,
+        metavar="JSON",
+        help="write entry + comparison report to this file (CI artifact)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    entry = run_engine_bench(
+        pairs=args.pairs,
+        xdrop=args.xdrop,
+        seed=args.seed,
+        engines=args.engines,
+        repeats=args.repeats,
+        quick=args.quick,
+        label=args.label,
+    )
+    failed = False
+    payload: dict = {"engines": entry.to_dict()}
+    if not args.json:
+        print(entry.formatted())
+    exact_engines = {
+        row["name"] for row in describe_engines() if row["exact"]
+    }
+    parity_failures = [
+        row.engine
+        for row in entry.rows
+        if row.engine in exact_engines and not row.scores_identical_to_reference
+    ]
+    payload["parity_failures"] = parity_failures
+    for name in parity_failures:
+        failed = True
+        if not args.json:
+            print(f"FAIL: {name} scores diverge from the scalar reference")
+
+    store = BaselineStore(args.baseline)
+    if not args.no_compare:
+        report = compare(
+            entry,
+            store.latest_matching(entry),
+            tolerance=args.tolerance,
+            metric=args.metric,
+        )
+        payload["comparison"] = report.to_dict()
+        if not args.json:
+            print(report.formatted())
+        failed = failed or not report.ok
+    if args.record:
+        store.append(entry)
+        if not args.json:
+            print(f"recorded entry in {store.path}")
+
+    if args.service:
+        service_entry = run_service_bench(
+            xdrop=args.xdrop, seed=args.seed, quick=args.quick, label=args.label
+        )
+        payload["service"] = service_entry.to_dict()
+        if not args.json:
+            print(service_entry.formatted())
+        service_store = BaselineStore(args.service_baseline)
+        if not args.no_compare:
+            service_report = compare(
+                service_entry,
+                service_store.latest_matching(service_entry),
+                tolerance=args.tolerance,
+                metric=args.metric,
+            )
+            payload["service_comparison"] = service_report.to_dict()
+            if not args.json:
+                print(service_report.formatted())
+            failed = failed or not service_report.ok
+        if args.record:
+            service_store.append(service_entry)
+            if not args.json:
+                print(f"recorded entry in {service_store.path}")
+
+    payload["ok"] = not failed
+    if args.artifact:
+        with open(args.artifact, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 1 if failed else 0
+
+
 def main_bench(argv: Sequence[str] | None = None) -> int:
-    """Entry point of ``repro-bench``: regenerate one paper table/figure."""
+    """Entry point of ``repro-bench``: paper tables/figures, or ``perf``.
+
+    ``repro-bench perf`` dispatches to the benchmark subsystem
+    (:mod:`repro.bench`): trajectory measurement, baseline comparison and
+    recording.  Every other positional regenerates a paper table/figure
+    from the benchmark harness.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "perf":
+        return main_bench_perf(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
-        description="Regenerate one of the paper's tables/figures.",
+        description=(
+            "Regenerate one of the paper's tables/figures, or run "
+            "'repro-bench perf' for the trajectory benchmark subsystem."
+        ),
     )
     parser.add_argument(
         "experiment",

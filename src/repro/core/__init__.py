@@ -37,7 +37,7 @@ from .scoring import (
 )
 from .seed_extend import Seed, extend_seed, seed_score, split_on_seed
 from .xdrop import exact_extension_score, xdrop_extend_reference
-from .xdrop_batch import xdrop_extend_batch
+from .xdrop_batch import BatchKernelStats, xdrop_extend_batch
 from .xdrop_vectorized import XDropKernelState, xdrop_extend
 
 __all__ = [
@@ -63,6 +63,7 @@ __all__ = [
     "seed_score",
     "split_on_seed",
     "xdrop_extend",
+    "BatchKernelStats",
     "xdrop_extend_batch",
     "xdrop_extend_reference",
     "exact_extension_score",

@@ -140,9 +140,30 @@ class BatchedEngine(_EngineBase):
     one row of the batch kernel, mirroring LOGAN's one-block-per-extension
     GPU layout.  With ``workers > 1`` the sweep is chunked across worker
     processes (scores and traces are unaffected).
+
+    ``compact_threshold`` and ``tile_width`` tune the kernel's active-row
+    compaction and column tiling (see
+    :func:`repro.core.xdrop_batch.xdrop_extend_batch`); results are
+    invariant to both.  Single-process runs attach the kernel's
+    :class:`~repro.core.xdrop_batch.BatchKernelStats` telemetry to the
+    batch result as ``extras["kernel_stats"]`` — the serving layer reads
+    it for batch-sizing hints.
     """
 
     name = "batched"
+
+    def __init__(
+        self,
+        scoring: ScoringScheme | None = None,
+        xdrop: int = 100,
+        workers: int = 1,
+        trace: bool = False,
+        compact_threshold: float | None = None,
+        tile_width: int | None = None,
+    ) -> None:
+        super().__init__(scoring=scoring, xdrop=xdrop, workers=workers, trace=trace)
+        self.compact_threshold = compact_threshold
+        self.tile_width = tile_width
 
     def align_batch(
         self,
@@ -150,7 +171,10 @@ class BatchedEngine(_EngineBase):
         scoring: ScoringScheme | None = None,
         xdrop: int | None = None,
     ) -> EngineBatchResult:
+        from ..core.xdrop_batch import BatchKernelStats
+
         scoring, xdrop = self._resolve(scoring, xdrop)
+        stats = BatchKernelStats() if self.workers == 1 else None
         timer = Timer()
         with timer:
             prepared = prepare_batch(jobs, scoring)
@@ -161,6 +185,9 @@ class BatchedEngine(_EngineBase):
                 xdrop,
                 workers=self.workers,
                 trace=self.trace,
+                compact_threshold=self.compact_threshold,
+                tile_width=self.tile_width,
+                stats=stats,
             )
             sides: dict[tuple[int, str], ExtensionResult] = {
                 (task.job_index, task.direction): ext
@@ -189,6 +216,7 @@ class BatchedEngine(_EngineBase):
             results=results,
             summary=summarize_results(results),
             elapsed_seconds=timer.elapsed,
+            extras={"kernel_stats": stats} if stats is not None else {},
         )
 
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..core.result import ExtensionResult
 from ..core.scoring import ScoringScheme
-from ..core.xdrop_batch import xdrop_extend_batch
+from ..core.xdrop_batch import BatchKernelStats, xdrop_extend_batch
 from ..core.xdrop_vectorized import xdrop_extend
 from ..errors import ConfigurationError
 from ..gpusim.trace import BlockWorkTrace, KernelWorkload
@@ -85,10 +85,22 @@ def _execute_vectorized(
 
 
 def _run_pair_chunk(
-    pairs: list, scoring: ScoringScheme, xdrop: int, trace: bool
+    pairs: list,
+    scoring: ScoringScheme,
+    xdrop: int,
+    trace: bool,
+    compact_threshold: float | None,
+    tile_width: int | None,
 ) -> list[ExtensionResult]:
     """Worker: one batched sweep over a chunk of pairs (picklable)."""
-    return xdrop_extend_batch(pairs, scoring=scoring, xdrop=xdrop, trace=trace)
+    return xdrop_extend_batch(
+        pairs,
+        scoring=scoring,
+        xdrop=xdrop,
+        trace=trace,
+        compact_threshold=compact_threshold,
+        tile_width=tile_width,
+    )
 
 
 def execute_tasks_batched(
@@ -97,6 +109,9 @@ def execute_tasks_batched(
     xdrop: int,
     workers: int = 1,
     trace: bool = True,
+    compact_threshold: float | None = None,
+    tile_width: int | None = None,
+    stats: BatchKernelStats | None = None,
 ) -> list[ExtensionResult]:
     """Inter-sequence execution: every extension is one row of a batched
     anti-diagonal sweep (LOGAN's one-block-per-extension layout).
@@ -106,6 +121,13 @@ def execute_tasks_batched(
     scores or traces, only the measured wall-clock.  Seed-flush tasks (an
     empty side) never reach the kernel; they yield a zero-score extension,
     the shared contract of every batch runner.
+
+    ``compact_threshold`` / ``tile_width`` tune the kernel's active-row
+    compaction and column tiling (results are invariant to them), and
+    ``stats`` — when given — collects the sweep's
+    :class:`~repro.core.xdrop_batch.BatchKernelStats` telemetry.  Stats are
+    only gathered on the in-process path; chunked multi-worker sweeps run in
+    subprocesses, which cannot update the caller's accumulator.
     """
     live = [task for task in tasks if not task.is_empty]
     pairs = [(task.query, task.target) for task in live]
@@ -114,14 +136,22 @@ def execute_tasks_batched(
         chunk_results = parallel_map(
             _run_pair_chunk,
             chunks,
-            args=(scoring, xdrop, trace),
+            args=(scoring, xdrop, trace, compact_threshold, tile_width),
             workers=workers,
             min_items_per_worker=1,
         )
         extensions = iter([ext for chunk in chunk_results for ext in chunk])
     else:
         extensions = iter(
-            xdrop_extend_batch(pairs, scoring=scoring, xdrop=xdrop, trace=trace)
+            xdrop_extend_batch(
+                pairs,
+                scoring=scoring,
+                xdrop=xdrop,
+                trace=trace,
+                compact_threshold=compact_threshold,
+                tile_width=tile_width,
+                stats=stats,
+            )
         )
     return [
         empty_extension(trace) if task.is_empty else next(extensions)

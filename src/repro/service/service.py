@@ -64,6 +64,13 @@ class ServiceStats:
         the resulting GCUPS (0.0 before any work ran).
     workers:
         Per-shard accounting (batches, jobs, cells, seconds).
+    kernel_live_fraction:
+        Mean live-row fraction reported by the batched kernel's compaction
+        telemetry (``None`` until an engine reports kernel stats).
+    suggested_batch_size:
+        Batch-sizing hint derived from that telemetry: the ``max_batch_size``
+        the compaction stats suggest the batcher should target (``None``
+        without kernel stats).
     """
 
     submitted: int = 0
@@ -77,6 +84,8 @@ class ServiceStats:
     busy_seconds: float = 0.0
     throughput_gcups: float = 0.0
     workers: list[WorkerStats] = field(default_factory=list)
+    kernel_live_fraction: float | None = None
+    suggested_batch_size: int | None = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -113,6 +122,8 @@ class ServiceStats:
                 }
                 for w in self.workers
             ],
+            "kernel_live_fraction": self.kernel_live_fraction,
+            "suggested_batch_size": self.suggested_batch_size,
         }
 
 
@@ -232,6 +243,7 @@ class AlignmentService:
         self._completed = 0
         self._cells = 0
         self._busy_seconds = 0.0
+        self._kernel_stats = None  # accumulated BatchKernelStats, if any
 
     @classmethod
     def from_config(cls, config) -> "AlignmentService":
@@ -302,6 +314,15 @@ class AlignmentService:
             self._cells += run.summary.cells
             self._busy_seconds += run.elapsed_seconds
             self._completed += batch.size
+            kernel_stats = run.extras.get("kernel_stats")
+            if kernel_stats is not None:
+                # Accumulate compaction telemetry across batches; stats()
+                # turns it into the batcher's batch-sizing hint.
+                if self._kernel_stats is None:
+                    from ..core.xdrop_batch import BatchKernelStats
+
+                    self._kernel_stats = BatchKernelStats()
+                self._kernel_stats.merge(kernel_stats)
             for ticket, result in zip(batch.tickets, run.results):
                 self.cache.put(ticket.cache_key, result)
         for ticket, result in zip(batch.tickets, run.results):
@@ -397,6 +418,7 @@ class AlignmentService:
     def stats(self) -> ServiceStats:
         """Snapshot of every counter (throughput via :func:`gcups`)."""
         with self._lock:
+            kernel_stats = self._kernel_stats
             return ServiceStats(
                 submitted=self._submitted,
                 completed=self._completed,
@@ -409,4 +431,12 @@ class AlignmentService:
                 busy_seconds=self._busy_seconds,
                 throughput_gcups=gcups(self._cells, self._busy_seconds),
                 workers=list(self.pool.worker_stats),
+                kernel_live_fraction=(
+                    kernel_stats.live_fraction if kernel_stats is not None else None
+                ),
+                suggested_batch_size=(
+                    kernel_stats.suggested_batch_size(self.policy.max_batch_size)
+                    if kernel_stats is not None
+                    else None
+                ),
             )

@@ -18,6 +18,7 @@ from typing import Sequence
 
 from ..core.job import AlignmentJob, BatchWorkSummary
 from ..core.result import SeedAlignmentResult
+from ..core.xdrop_batch import BatchKernelStats
 from ..engine.base import AlignmentEngine
 from ..errors import ServiceError
 from ..logan.scheduler import LoadBalancer
@@ -122,6 +123,7 @@ class ShardedWorkerPool:
                     batches = list(pool.map(align, assignments))
         results: list[SeedAlignmentResult | None] = [None] * len(jobs)
         summary = BatchWorkSummary()
+        kernel_stats: BatchKernelStats | None = None
         for assignment, batch in zip(assignments, batches):
             for local, job_index in enumerate(assignment.job_indices):
                 results[job_index] = batch.results[local]
@@ -131,10 +133,19 @@ class ShardedWorkerPool:
             stats.jobs += assignment.num_jobs
             stats.cells += batch.summary.cells
             stats.seconds += batch.elapsed_seconds
+            # Fold per-shard kernel telemetry into one fresh accumulator
+            # (never mutate the engine-owned stats object); the service
+            # consumes it from the run's extras for batch-sizing hints.
+            shard_stats = batch.extras.get("kernel_stats")
+            if shard_stats is not None:
+                if kernel_stats is None:
+                    kernel_stats = BatchKernelStats()
+                kernel_stats.merge(shard_stats)
         assert all(r is not None for r in results)
         return PoolRun(
             results=results,  # type: ignore[arg-type]
             summary=summary,
             elapsed_seconds=timer.elapsed,
             shards_used=len(assignments),
+            extras={"kernel_stats": kernel_stats} if kernel_stats is not None else {},
         )

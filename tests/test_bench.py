@@ -1,0 +1,292 @@
+"""Tests of the benchmark subsystem: schema, baseline store, gate, CLI.
+
+Fast paths (tiny workloads, temp trajectory files) run in tier-1; the
+timed quick-scale measurement smoke is marked ``benchmark``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BaselineStore,
+    BenchEntry,
+    BenchResult,
+    compare,
+    run_engine_bench,
+    run_service_bench,
+)
+from repro.cli import main_bench_perf
+from repro.errors import ConfigurationError
+
+
+def make_row(engine="batched", speedup=4.0, seconds=1.0, identical=True):
+    return BenchResult(
+        engine=engine,
+        measured_seconds=seconds,
+        measured_gcups=0.01,
+        speedup_vs_scalar=speedup,
+        scores_identical_to_reference=identical,
+        cells=1000,
+    )
+
+
+def make_entry(speedup=4.0, seconds=1.0, quick=False, label="x"):
+    return BenchEntry(
+        kind="engines",
+        label=label,
+        batch_size=256,
+        xdrop=50,
+        rng_seed=2020,
+        scoring={"match": 1, "mismatch": -1, "gap": -1},
+        quick=quick,
+        rows=[
+            make_row("reference", 1.0, 5.0),
+            make_row("batched", speedup, seconds),
+        ],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Schema
+# --------------------------------------------------------------------------- #
+class TestSchema:
+    def test_entry_round_trip(self):
+        entry = make_entry()
+        clone = BenchEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert clone.signature() == entry.signature()
+        assert clone.row("batched").speedup_vs_scalar == 4.0
+        assert clone.row("missing") is None
+
+    def test_signature_distinguishes_workloads(self):
+        assert make_entry().signature() != make_entry(quick=True).signature()
+        other = make_entry()
+        other.xdrop = 49
+        assert other.signature() != make_entry().signature()
+
+    def test_timestamp_autofilled_and_formatted(self):
+        entry = make_entry()
+        assert entry.timestamp
+        text = entry.formatted()
+        assert "batched" in text and "4.00x" in text
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(ConfigurationError):
+            BenchEntry.from_dict({"rows": [{"engine": "x"}]})
+
+
+# --------------------------------------------------------------------------- #
+# Baseline store
+# --------------------------------------------------------------------------- #
+class TestBaselineStore:
+    def test_missing_file_is_empty(self, tmp_path):
+        store = BaselineStore(tmp_path / "none.json")
+        assert store.load() == []
+        assert store.latest() is None
+
+    def test_append_and_reload(self, tmp_path):
+        store = BaselineStore(tmp_path / "t.json")
+        store.append(make_entry(label="first"))
+        store.append(make_entry(speedup=8.0, label="second"))
+        trajectory = store.load()
+        assert [e.label for e in trajectory] == ["first", "second"]
+        assert store.latest().label == "second"
+        data = json.loads((tmp_path / "t.json").read_text())
+        assert data["schema"].startswith("repro-bench-trajectory")
+        assert len(data["trajectory"]) == 2
+
+    def test_legacy_engines_snapshot_becomes_trajectory(self, tmp_path):
+        legacy = {
+            "batch_size": 256,
+            "xdrop": 50,
+            "rng_seed": 2020,
+            "scoring": {"match": 1, "mismatch": -1, "gap": -1},
+            "engines": [make_row("batched", 4.3, 1.28).to_dict()],
+        }
+        path = tmp_path / "BENCH_engines.json"
+        path.write_text(json.dumps(legacy))
+        store = BaselineStore(path)
+        entries = store.load()
+        assert len(entries) == 1
+        assert entries[0].timestamp == "legacy"
+        assert entries[0].row("batched").measured_seconds == 1.28
+        # The legacy snapshot matches the signature of a fresh full entry.
+        assert store.latest_matching(make_entry()) is not None
+        # Appending preserves it as the trajectory root.
+        store.append(make_entry(speedup=9.0))
+        assert [e.timestamp == "legacy" for e in store.load()] == [True, False]
+
+    def test_latest_matching_respects_signature(self, tmp_path):
+        store = BaselineStore(tmp_path / "t.json")
+        store.append(make_entry(quick=True))
+        assert store.latest_matching(make_entry(quick=False)) is None
+        assert store.latest_matching(make_entry(quick=True)) is not None
+
+    def test_unrecognised_layout_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"weird": 1}')
+        with pytest.raises(ConfigurationError):
+            BaselineStore(path).load()
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            BaselineStore(path).load()
+
+    def test_repo_baselines_parse(self):
+        """The committed trajectory files must always load."""
+        engines = BaselineStore("BENCH_engines.json").load()
+        assert engines and engines[0].timestamp == "legacy"
+        assert any(not e.quick for e in engines[1:])
+        service = BaselineStore("BENCH_service.json").load()
+        assert service and service[0].timestamp == "legacy"
+
+
+# --------------------------------------------------------------------------- #
+# Regression gate
+# --------------------------------------------------------------------------- #
+class TestCompare:
+    def test_improvement_passes(self):
+        report = compare(make_entry(speedup=9.0), make_entry(speedup=4.0))
+        assert report.ok
+        delta = report.deltas[0]
+        assert delta.engine == "batched" and delta.ratio == pytest.approx(2.25)
+        assert "reference" in report.skipped  # the denominator is ungated
+
+    def test_regression_beyond_tolerance_fails(self):
+        report = compare(
+            make_entry(speedup=2.0), make_entry(speedup=4.0), tolerance=0.30
+        )
+        assert not report.ok
+        assert report.regressions[0].engine == "batched"
+        assert "REGRESSION" in report.formatted()
+
+    def test_regression_within_tolerance_passes(self):
+        report = compare(
+            make_entry(speedup=3.0), make_entry(speedup=4.0), tolerance=0.30
+        )
+        assert report.ok  # 25% drop < 30% tolerance
+
+    def test_seconds_metric_direction(self):
+        slower = compare(
+            make_entry(seconds=2.0),
+            make_entry(seconds=1.0),
+            metric="measured_seconds",
+            tolerance=0.30,
+        )
+        assert not slower.ok
+        faster = compare(
+            make_entry(seconds=0.5),
+            make_entry(seconds=1.0),
+            metric="measured_seconds",
+        )
+        assert faster.ok
+
+    def test_no_baseline_is_passing_first_record(self):
+        report = compare(make_entry(), None)
+        assert report.ok and not report.deltas
+
+    def test_unknown_metric_and_bad_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            compare(make_entry(), make_entry(), metric="vibes")
+        with pytest.raises(ConfigurationError):
+            compare(make_entry(), make_entry(), tolerance=-1.0)
+
+    def test_noise_rows_are_ungated(self):
+        current = make_entry()
+        current.rows.append(make_row("service_resubmit", 100.0, 0.001))
+        baseline = make_entry()
+        baseline.rows.append(make_row("service_resubmit", 5000.0, 0.0001))
+        report = compare(current, baseline)
+        assert report.ok
+        assert "service_resubmit" in report.skipped
+
+    def test_report_round_trips_to_dict(self):
+        report = compare(make_entry(speedup=9.0), make_entry(speedup=4.0))
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["deltas"][0]["engine"] == "batched"
+
+
+# --------------------------------------------------------------------------- #
+# Runners + CLI (tiny workloads; the timed smoke is marked `benchmark`)
+# --------------------------------------------------------------------------- #
+class TestRunnersAndCli:
+    def test_engine_runner_tiny(self):
+        entry = run_engine_bench(pairs=4, engines=["reference", "batched"], seed=7)
+        assert entry.batch_size == 4
+        batched = entry.row("batched")
+        assert batched.scores_identical_to_reference
+        assert batched.kernel is not None and batched.kernel["rows"] > 0
+        assert entry.row("reference").speedup_vs_scalar == 1.0
+
+    def test_engine_runner_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            run_engine_bench(pairs=0)
+        with pytest.raises(ConfigurationError):
+            run_engine_bench(pairs=4, engines=["nope"])
+        with pytest.raises(ConfigurationError):
+            run_engine_bench(pairs=4, repeats=0)
+
+    def test_cli_perf_records_and_gates(self, tmp_path, capsys):
+        baseline = tmp_path / "engines.json"
+        args = [
+            "--pairs", "4", "--engines", "reference", "batched",
+            "--baseline", str(baseline), "--seed", "7",
+        ]
+        # First run: nothing comparable stored, record the baseline.
+        assert main_bench_perf(args + ["--record"]) == 0
+        assert BaselineStore(baseline).latest() is not None
+        # Second run: gated against the recorded entry (generous tolerance
+        # absorbs timing noise on a 4-pair batch).
+        code = main_bench_perf(args + ["--tolerance", "0.99"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compare vs baseline" in out
+
+    def test_cli_perf_artifact_and_json(self, tmp_path, capsys):
+        artifact = tmp_path / "report.json"
+        code = main_bench_perf(
+            [
+                "--pairs", "4", "--engines", "reference", "batched",
+                "--baseline", str(tmp_path / "b.json"), "--seed", "7",
+                "--no-compare", "--json", "--artifact", str(artifact),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["ok"] is True
+        emitted = json.loads(capsys.readouterr().out)
+        assert emitted["engines"]["batch_size"] == 4
+
+    def test_main_bench_dispatches_perf(self, tmp_path):
+        from repro.cli import main_bench
+
+        assert (
+            main_bench(
+                [
+                    "perf", "--pairs", "4", "--engines", "reference", "batched",
+                    "--baseline", str(tmp_path / "b.json"), "--no-compare",
+                ]
+            )
+            == 0
+        )
+
+
+@pytest.mark.benchmark
+class TestBenchmarkSmoke:
+    def test_quick_engine_bench_meets_floor(self):
+        """Quick-scale measurement: the compacted kernel must beat 3x."""
+        entry = run_engine_bench(quick=True)
+        assert entry.quick and entry.batch_size == 64
+        batched = entry.row("batched")
+        assert batched.scores_identical_to_reference
+        assert batched.speedup_vs_scalar >= 3.0
+
+    def test_quick_service_bench_parity_and_cache(self):
+        entry = run_service_bench(quick=True)
+        rows = {row.engine: row for row in entry.rows}
+        assert rows["service"].scores_identical_to_reference
+        assert rows["service_resubmit"].scores_identical_to_reference
+        assert entry.extra["cache_hit_rate"] > 0
+        assert entry.extra["kernel_live_fraction"] is not None

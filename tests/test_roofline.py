@@ -139,3 +139,121 @@ class TestRooflineReport:
         assert "warp GIPS" in art
         with pytest.raises(ConfigurationError):
             render_ascii(build_series(analysis), width=5, height=5)
+
+
+# --------------------------------------------------------------------------- #
+# Golden values: the model's numbers are pinned, not just shape-checked.
+# --------------------------------------------------------------------------- #
+def _golden_workload() -> KernelWorkload:
+    """A fixed two-block workload with hand-chosen band-width traces."""
+    import numpy as np
+
+    return KernelWorkload(
+        blocks=[
+            BlockWorkTrace(
+                band_widths=np.asarray([1, 2, 3, 4, 5, 4, 3, 2, 1]),
+                query_length=5,
+                target_length=5,
+            ),
+            BlockWorkTrace(
+                band_widths=np.asarray([1, 2, 2, 2, 1]),
+                query_length=3,
+                target_length=3,
+            ),
+        ],
+        replication=1000.0,
+    )
+
+
+class TestGoldenValues:
+    """Hand-derived / pinned numbers for model, instrument and report.
+
+    The V100 constants behind them: 80 SMs x 4 schedulers x 1.53 GHz =
+    489.6 peak warp GIPS, of which 16/32 INT32 lanes give 220.8 warp GIPS;
+    HBM2 at 900 GB/s puts the ridge point at 220.8 / 900.
+    """
+
+    def test_device_constant_goldens(self):
+        assert TESLA_V100.peak_warp_gips == pytest.approx(489.6)
+        assert TESLA_V100.int32_peak_warp_gips == pytest.approx(220.8)
+        assert TESLA_V100.hbm_bandwidth_gbps == pytest.approx(900.0)
+        assert TESLA_V100.total_int32_cores == 5120
+
+    def test_adapted_ceiling_hand_derived(self):
+        # 2 blocks x 64 threads = 128 scheduled lanes < 5120 INT32 cores,
+        # so one issue round; 32 active lanes per block out of 64 scheduled
+        # halves the INT32 roof: 220.8 / 2 = 110.4 exactly.
+        ceiling = adapted_ceiling(
+            TESLA_V100, per_iteration_ops=[32] * 10, blocks=2, threads_per_block=64
+        )
+        assert ceiling == pytest.approx(110.4)
+
+    def test_ridge_point_golden(self):
+        ceilings = roofline_ceilings(
+            TESLA_V100, per_iteration_ops=[64] * 4, blocks=8, threads_per_block=64
+        )
+        assert ceilings.ridge_point == pytest.approx(220.8 / 900.0)
+
+    def test_modeled_seconds_golden(self):
+        """The execution model's timing on the fixed workload is pinned.
+
+        ``total_seconds`` is the 8e-5 s launch overhead plus the modeled
+        device time — any drift in the instruction/memory accounting moves
+        these numbers and must be a conscious change.
+        """
+        model = KernelExecutionModel(TESLA_V100)
+        timing = model.execute(_golden_workload(), threads_per_block=64)
+        assert timing.cells == 33_000  # (25 + 8) cells x 1000 replication
+        assert timing.warp_instructions == pytest.approx(1_092_000.0)
+        assert timing.hbm_bytes == 64_000
+        assert timing.operational_intensity == pytest.approx(17.0625)
+        assert timing.device_seconds == pytest.approx(1.5826086956522e-05, rel=1e-9)
+        assert timing.total_seconds == pytest.approx(9.5826086956522e-05, rel=1e-9)
+        assert timing.warp_gips == pytest.approx(69.0, rel=1e-9)
+        assert timing.bound == "compute"
+
+    def test_analysis_goldens(self):
+        model = KernelExecutionModel(TESLA_V100)
+        workload = _golden_workload()
+        timing = model.execute(workload, threads_per_block=64)
+        analysis = analyze_kernel(TESLA_V100, timing, workload, label="golden")
+        assert analysis.point.label == "golden"
+        assert analysis.point.operational_intensity == pytest.approx(17.0625)
+        # Mean band width across iterations is tiny relative to the 64
+        # scheduled threads, so the adapted ceiling collapses accordingly.
+        assert analysis.ceilings.adapted_warp_gips == pytest.approx(
+            8.241666666667, rel=1e-9
+        )
+        assert analysis.is_compute_bound
+        # Achieved 69 GIPS over an 8.24-GIPS adapted roof pegs the clamp.
+        assert analysis.efficiency == pytest.approx(1.5)
+
+    def test_series_goldens(self):
+        model = KernelExecutionModel(TESLA_V100)
+        workload = _golden_workload()
+        timing = model.execute(workload, threads_per_block=64)
+        analysis = analyze_kernel(TESLA_V100, timing, workload)
+        series = build_series(analysis, oi_min=0.1, oi_max=10.0, samples=3)
+        assert series.operational_intensity == pytest.approx([0.1, 1.0, 10.0])
+        assert series.memory_roof == pytest.approx([90.0, 900.0, 9000.0])
+        assert series.int32_roof == pytest.approx([90.0, 220.8, 220.8])
+        assert series.adapted_roof == pytest.approx([8.241666666667] * 3)
+        assert series.ridge_point == pytest.approx(220.8 / 900.0)
+
+    def test_report_formatting_golden(self):
+        model = KernelExecutionModel(TESLA_V100)
+        workload = _golden_workload()
+        timing = model.execute(workload, threads_per_block=64)
+        analysis = analyze_kernel(TESLA_V100, timing, workload)
+        art = render_ascii(build_series(analysis), width=40, height=10)
+        lines = art.splitlines()
+        assert lines[0] == (
+            "Instruction Roofline (=: INT32 roof, -: adapted ceiling, "
+            "/: memory roof, *: kernel)"
+        )
+        assert len(lines) == 12  # header + 10 grid rows + footer
+        assert all(len(line) == 40 for line in lines[1:11])
+        assert lines[-1] == (
+            "OI = 17.1 warp-instr/byte, performance = 69.0 warp GIPS, "
+            "ridge point = 0.245"
+        )
