@@ -8,12 +8,12 @@ trajectory recorded before the subsystem existed.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..core.job import AlignmentJob
 from ..core.scoring import ScoringScheme
 from ..data import PairSetSpec, generate_pair_set
-from ..engine import get_engine, list_engines
+from ..engine import available_engines, get_engine, list_engines
 from ..errors import ConfigurationError
 from ..perf.metrics import gcups
 from ..perf.timers import Timer
@@ -70,6 +70,10 @@ def run_engine_bench(
     repeats: int = 1,
     quick: bool = False,
     label: str = "",
+    profile: str | None = None,
+    min_length: int | None = None,
+    max_length: int | None = None,
+    error_rate: float | None = None,
 ) -> BenchEntry:
     """Time the requested engines on one fixed-seed batch.
 
@@ -79,17 +83,33 @@ def run_engine_bench(
     With ``repeats > 1`` each engine reports its fastest run (noise floor
     for the regression gate).  ``quick`` shrinks the workload to the CI
     smoke scale and restricts the default engine set to
-    ``reference``/``batched``.
+    ``reference``/``batched``; otherwise the default set is every
+    *available* engine (optional engines whose dependency is missing are
+    skipped unless named explicitly, which raises with the reason).
+
+    With *profile* set, the batch comes from the workload bank
+    (:func:`repro.workloads.generate_workload`) instead of the default
+    random pair set; ``min_length``/``max_length``/``error_rate`` override
+    the :class:`~repro.workloads.WorkloadSpec` defaults and are recorded in
+    the entry signature so profile series never pair with mismatched
+    baselines.
     """
     if pairs <= 0:
         raise ConfigurationError(f"pairs must be positive, got {pairs}")
     if repeats <= 0:
         raise ConfigurationError(f"repeats must be positive, got {repeats}")
+    if profile is None and (
+        min_length is not None or max_length is not None or error_rate is not None
+    ):
+        raise ConfigurationError(
+            "min_length/max_length/error_rate tune the profile workload; "
+            "pass profile=<name> to use them"
+        )
     if quick:
         pairs = min(pairs, _QUICK_PAIRS)
     scoring = scoring if scoring is not None else ScoringScheme()
     names = list(engines) if engines else (
-        list(_QUICK_ENGINES) if quick else list_engines()
+        list(_QUICK_ENGINES) if quick else available_engines()
     )
     unknown = sorted(set(names) - set(list_engines()))
     if unknown:
@@ -97,7 +117,26 @@ def run_engine_bench(
             f"unknown engine(s) {', '.join(map(repr, unknown))}; "
             f"available: {', '.join(list_engines())}"
         )
-    jobs = engine_bench_jobs(pairs, seed)
+    workload_params: dict[str, Any] = {}
+    if profile is None:
+        jobs = engine_bench_jobs(pairs, seed)
+    else:
+        from ..workloads import WorkloadSpec, generate_workload
+
+        spec_kwargs = dict(count=pairs, seed=seed, xdrop=xdrop, scoring=scoring)
+        if min_length is not None:
+            spec_kwargs["min_length"] = int(min_length)
+        if max_length is not None:
+            spec_kwargs["max_length"] = int(max_length)
+        if error_rate is not None:
+            spec_kwargs["error_rate"] = float(error_rate)
+        spec = WorkloadSpec(**spec_kwargs)
+        jobs = generate_workload(profile, spec).jobs
+        workload_params = {
+            "min_length": spec.min_length,
+            "max_length": spec.max_length,
+            "error_rate": spec.error_rate,
+        }
 
     def best_run(name: str):
         engine = get_engine(name, scoring=scoring, xdrop=xdrop)
@@ -143,7 +182,9 @@ def run_engine_bench(
             "gap": scoring.gap,
         },
         quick=quick,
+        profile=profile or "",
         rows=rows,
+        extra={"workload": workload_params} if workload_params else {},
     )
 
 

@@ -90,11 +90,14 @@ class BenchResult:
 class BenchEntry:
     """One point of a performance trajectory.
 
-    The *signature* fields (``kind``, ``batch_size``, ``xdrop``,
-    ``rng_seed``, ``scoring``, ``quick``) identify the workload so
-    :meth:`repro.bench.store.BaselineStore.latest_matching` only ever
+    The *signature* fields (``kind``, ``profile``, ``batch_size``,
+    ``xdrop``, ``rng_seed``, ``scoring``, ``quick``, plus the workload
+    parameters recorded under ``extra["workload"]``) identify the workload
+    so :meth:`repro.bench.store.BaselineStore.latest_matching` only ever
     compares like with like; ``label`` and ``timestamp`` document the
-    point, and ``rows`` carries the measurements.
+    point, and ``rows`` carries the measurements.  ``profile`` is empty for
+    the default random pair-set series and names the workload-bank profile
+    (``pacbio``, ``ont``, …) for profile-mode series.
     """
 
     kind: str = "engines"
@@ -105,6 +108,7 @@ class BenchEntry:
     rng_seed: int = 0
     scoring: dict[str, int] = field(default_factory=dict)
     quick: bool = False
+    profile: str = ""
     rows: list[BenchResult] = field(default_factory=list)
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -113,14 +117,23 @@ class BenchEntry:
             self.timestamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
 
     def signature(self) -> tuple:
-        """Workload identity used to pair an entry with its baseline."""
+        """Workload identity used to pair an entry with its baseline.
+
+        Legacy entries (recorded before profile-mode series existed) have
+        no ``profile`` field and no ``extra["workload"]`` dict; both
+        default to empty here, so their signatures keep matching fresh
+        default-series runs.
+        """
+        workload = self.extra.get("workload") or {}
         return (
             self.kind,
+            self.profile,
             self.batch_size,
             self.xdrop,
             self.rng_seed,
             tuple(sorted(self.scoring.items())),
             self.quick,
+            tuple(sorted((k, str(v)) for k, v in workload.items())),
         )
 
     def row(self, engine: str) -> BenchResult | None:
@@ -135,6 +148,7 @@ class BenchEntry:
         lines = [
             f"[{self.kind}] {self.label or 'benchmark'} @ {self.timestamp} — "
             f"{self.batch_size} jobs, X={self.xdrop}, seed={self.rng_seed}"
+            f"{f', profile={self.profile}' if self.profile else ''}"
             f"{' (quick)' if self.quick else ''}"
         ]
         for row in self.rows:
@@ -156,6 +170,7 @@ class BenchEntry:
             "rng_seed": self.rng_seed,
             "scoring": dict(self.scoring),
             "quick": self.quick,
+            "profile": self.profile,
             "rows": [row.to_dict() for row in self.rows],
             "extra": dict(self.extra),
         }
@@ -173,6 +188,7 @@ class BenchEntry:
                 rng_seed=int(data.get("rng_seed", 0)),
                 scoring={k: int(v) for k, v in dict(data.get("scoring", {})).items()},
                 quick=bool(data.get("quick", False)),
+                profile=str(data.get("profile", "")),
                 rows=rows,
                 extra=dict(data.get("extra", {})),
             )

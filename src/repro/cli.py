@@ -79,7 +79,11 @@ class _ListEnginesAction(argparse.Action):
     def __call__(self, parser, namespace, values, option_string=None):
         for row in describe_engines():
             exact = {True: "exact", False: "inexact", None: "?"}[row["exact"]]
-            print(f"{row['name']:>12s}  {exact:<8s} {row['summary']}")
+            status = ""
+            if not row["available"]:
+                reason = row["reason"] or "optional dependency missing"
+                status = f"  [unavailable: {reason}]"
+            print(f"{row['name']:>12s}  {exact:<8s} {row['summary']}{status}")
         parser.exit(0)
 
 
@@ -353,7 +357,39 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
         "--engines",
         nargs="*",
         default=None,
-        help="subset of engines to time (default: all; quick: reference+batched)",
+        help=(
+            "subset of engines to time (default: all available; "
+            "quick: reference+batched)"
+        ),
+    )
+    from .workloads import list_profiles
+
+    parser.add_argument(
+        "--profile",
+        choices=list_profiles(),
+        default=None,
+        help=(
+            "bench a workload-bank profile instead of the default random "
+            "pair set (recorded as its own baseline series)"
+        ),
+    )
+    parser.add_argument(
+        "--min-length",
+        type=int,
+        default=None,
+        help="profile mode: minimum template length (WorkloadSpec default)",
+    )
+    parser.add_argument(
+        "--max-length",
+        type=int,
+        default=None,
+        help="profile mode: maximum template length (WorkloadSpec default)",
+    )
+    parser.add_argument(
+        "--error-rate",
+        type=float,
+        default=None,
+        help="profile mode: pairwise divergence (WorkloadSpec default)",
     )
     parser.add_argument(
         "--quick",
@@ -381,6 +417,14 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
         "--no-compare",
         action="store_true",
         help="skip the regression gate against the stored baseline",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "exit nonzero when a series/engine has no recorded baseline "
+            "yet (default: report it and pass)"
+        ),
     )
     parser.add_argument(
         "--tolerance",
@@ -418,9 +462,53 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
         repeats=args.repeats,
         quick=args.quick,
         label=args.label,
+        profile=args.profile,
+        min_length=args.min_length,
+        max_length=args.max_length,
+        error_rate=args.error_rate,
     )
     failed = False
     payload: dict = {"engines": entry.to_dict()}
+
+    def gate(bench_entry, store, report_key) -> bool:
+        """Compare one entry; a missing baseline is a clear message, not a
+        KeyError, and fails the run only under ``--strict``."""
+        series = bench_entry.kind + (
+            f"/{bench_entry.profile}" if bench_entry.profile else ""
+        )
+        where = (
+            f"(pairs={bench_entry.batch_size}, X={bench_entry.xdrop}, "
+            f"seed={bench_entry.rng_seed}) on this host in {store.path}"
+        )
+        baseline = store.latest_matching(bench_entry)
+        if baseline is None:
+            msg = (
+                f"no baseline recorded for series {series!r} {where}; "
+                "run with --record to start the trajectory"
+            )
+            payload.setdefault("missing_baselines", []).append(msg)
+            if not args.json:
+                print(msg)
+            return args.strict
+        report = compare(
+            bench_entry, baseline, tolerance=args.tolerance, metric=args.metric
+        )
+        payload[report_key] = report.to_dict()
+        if not args.json:
+            print(report.formatted())
+        gate_failed = not report.ok
+        for row in bench_entry.rows:
+            if baseline.row(row.engine) is not None:
+                continue
+            msg = (
+                f"no baseline recorded for series {series!r} engine "
+                f"{row.engine!r} {where}; run with --record to add it"
+            )
+            payload.setdefault("missing_baselines", []).append(msg)
+            if not args.json:
+                print(msg)
+            gate_failed = gate_failed or args.strict
+        return gate_failed
     if not args.json:
         print(entry.formatted())
     exact_engines = {
@@ -439,16 +527,7 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
 
     store = BaselineStore(args.baseline)
     if not args.no_compare:
-        report = compare(
-            entry,
-            store.latest_matching(entry),
-            tolerance=args.tolerance,
-            metric=args.metric,
-        )
-        payload["comparison"] = report.to_dict()
-        if not args.json:
-            print(report.formatted())
-        failed = failed or not report.ok
+        failed = gate(entry, store, "comparison") or failed
     if args.record:
         store.append(entry)
         if not args.json:
@@ -463,16 +542,7 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
             print(service_entry.formatted())
         service_store = BaselineStore(args.service_baseline)
         if not args.no_compare:
-            service_report = compare(
-                service_entry,
-                service_store.latest_matching(service_entry),
-                tolerance=args.tolerance,
-                metric=args.metric,
-            )
-            payload["service_comparison"] = service_report.to_dict()
-            if not args.json:
-                print(service_report.formatted())
-            failed = failed or not service_report.ok
+            failed = gate(service_entry, service_store, "service_comparison") or failed
         if args.record:
             service_store.append(service_entry)
             if not args.json:

@@ -1,0 +1,231 @@
+"""JIT-compiled X-drop extension kernel behind a soft numba import.
+
+The compacting batched kernel (:mod:`repro.core.xdrop_batch`) exists to
+amortise Python-interpreter cost: active-row compaction and tiled
+union-band sweeps turn the per-anti-diagonal step into a handful of large
+``numpy`` operations.  Once the loop is compiled that amortisation is
+unnecessary — a straight per-pair banded sweep touches exactly the live
+band (the effect compaction approximates from the outside) with no packing
+or union-band overcomputation at all.  This module is therefore a
+numba-``njit`` port of the *scalar reference recurrence* with the batched
+kernel's dtype-tier overflow guard (:func:`~repro.core.xdrop_batch._select_dtype`
+is shared, so both engines pick int16/int32/int64 DP buffers on exactly the
+same inputs) and a batch driver that reuses scratch buffers across pairs.
+
+numba is an *optional* dependency.  When it is missing the module still
+imports: :data:`HAVE_NUMBA` is ``False``, :data:`NUMBA_IMPORT_ERROR` holds
+the reason, and the kernel runs as plain (slow but identical) Python so the
+test-suite can exercise its semantics everywhere.  The engine registry uses
+the flag to mark the ``compiled`` engine unavailable with an actionable
+message instead of raising ``ImportError`` at import time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .encoding import SequenceLike, encode
+from .result import ExtensionResult
+from .scoring import ScoringScheme
+from .xdrop_batch import _select_dtype
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NUMBA_IMPORT_ERROR",
+    "xdrop_extend_compiled",
+]
+
+try:  # soft import: the module must work (slowly) without numba
+    from numba import njit
+
+    HAVE_NUMBA = True
+    NUMBA_IMPORT_ERROR: str | None = None
+except ImportError as exc:  # pragma: no cover - exercised on numba-less CI legs
+    HAVE_NUMBA = False
+    NUMBA_IMPORT_ERROR = str(exc)
+
+    def njit(*args, **kwargs):
+        """Identity decorator standing in for :func:`numba.njit`."""
+
+        if len(args) == 1 and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+@njit(cache=False)
+def _extend_one(q, t, match, mismatch, gap, xdrop, neg, prev2, prev, cur, widths, record_widths, out):
+    """One X-drop extension, bit-identical to ``xdrop_extend_reference``.
+
+    ``prev2``/``prev``/``cur`` are caller-owned scratch buffers of the
+    dtype tier chosen by ``_select_dtype`` (length >= m + 2); ``widths``
+    (length >= m + n + 1) receives per-anti-diagonal band widths when
+    ``record_widths`` is set; ``out`` receives
+    ``(best, best_i, best_j, anti_diagonals, cells, terminated_early)``.
+    """
+    m = q.shape[0]
+    n = t.shape[0]
+    for i in range(m + 2):
+        prev2[i] = neg
+        prev[i] = neg
+        cur[i] = neg
+    prev[0] = 0
+    prev2_lo, prev2_hi = 0, -1  # empty
+    prev_lo, prev_hi = 0, 0
+
+    best = 0
+    best_i, best_j = 0, 0
+    cells = 1
+    anti_diagonals = 1
+    if record_widths:
+        widths[0] = 1
+    terminated_early = 0
+
+    for d in range(1, m + n + 1):
+        lo = max(0, d - n)
+        hi = min(d, m)
+        reach_lo = prev_lo
+        reach_hi = prev_hi + 1
+        if prev2_hi >= prev2_lo:
+            reach_lo = min(reach_lo, prev2_lo + 1)
+            reach_hi = max(reach_hi, prev2_hi + 1)
+        lo = max(lo, reach_lo)
+        hi = min(hi, reach_hi)
+        if lo > hi:
+            terminated_early = 1
+            break
+
+        cutoff = best - xdrop
+        row_best = neg
+        row_best_i = -1
+        for i in range(lo, hi + 1):
+            j = d - i
+            score = neg
+            if i >= 1 and j >= 1:
+                diag = prev2[i - 1]
+                if diag > neg:
+                    if q[i - 1] == t[j - 1] and q[i - 1] != 4:
+                        score = diag + match
+                    else:
+                        score = diag + mismatch
+            if i >= 1:
+                up = prev[i - 1]
+                if up > neg and up + gap > score:
+                    score = up + gap
+            if j >= 1:
+                left = prev[i]
+                if left > neg and left + gap > score:
+                    score = left + gap
+            if score < cutoff:
+                score = neg
+            cur[i] = score
+            if score > row_best:
+                row_best = score
+                row_best_i = i
+
+        cells += hi - lo + 1
+        anti_diagonals += 1
+        if record_widths:
+            widths[anti_diagonals - 1] = hi - lo + 1
+
+        if row_best <= neg:
+            terminated_early = 1
+            break
+
+        new_lo, new_hi = lo, hi
+        while new_lo <= new_hi and cur[new_lo] == neg:
+            new_lo += 1
+        while new_hi >= new_lo and cur[new_hi] == neg:
+            new_hi -= 1
+
+        if row_best > best:
+            best = row_best
+            best_i = row_best_i
+            best_j = d - row_best_i
+
+        tmp = prev2
+        prev2 = prev
+        prev = cur
+        cur = tmp
+        for i in range(lo, hi + 1):
+            if i < new_lo or i > new_hi:
+                prev[i] = neg
+        prev2_lo, prev2_hi = prev_lo, prev_hi
+        prev_lo, prev_hi = new_lo, new_hi
+        for i in range(max(0, d + 1 - n), min(d + 1, m) + 1):
+            cur[i] = neg
+
+    out[0] = best
+    out[1] = best_i
+    out[2] = best_j
+    out[3] = anti_diagonals
+    out[4] = cells
+    out[5] = terminated_early
+
+
+def xdrop_extend_compiled(
+    pairs: list[tuple[SequenceLike, SequenceLike]],
+    scoring: ScoringScheme | None = None,
+    xdrop: int = 100,
+    trace: bool = False,
+) -> list[ExtensionResult]:
+    """Run the JIT X-drop kernel over *pairs*, preserving input order.
+
+    Semantically identical to mapping :func:`xdrop_extend_reference` over
+    the batch; results are bit-identical including work accounting and band
+    traces.  DP scratch buffers take the same int16/int32/int64 tier the
+    batched kernel would pick for the batch (shared overflow guard) and are
+    reused across pairs.
+    """
+    if xdrop < 0:
+        raise ConfigurationError(f"X-drop threshold must be non-negative, got {xdrop}")
+    scoring = scoring if scoring is not None else ScoringScheme()
+    encoded = [(encode(q), encode(t)) for q, t in pairs]
+    if not encoded:
+        return []
+
+    match, mismatch, gap = (int(v) for v in scoring.as_tuple())
+    max_m = max(len(q) for q, _ in encoded)
+    max_n = max(len(t) for _, t in encoded)
+    dtype, neg = _select_dtype(max_m, max_n, scoring, xdrop)
+
+    prev2 = np.empty(max_m + 2, dtype=dtype)
+    prev = np.empty(max_m + 2, dtype=dtype)
+    cur = np.empty(max_m + 2, dtype=dtype)
+    widths = np.empty(max_m + max_n + 1 if trace else 1, dtype=np.int64)
+    out = np.empty(6, dtype=np.int64)
+
+    results: list[ExtensionResult] = []
+    for q, t in encoded:
+        _extend_one(
+            q,
+            t,
+            match,
+            mismatch,
+            gap,
+            int(xdrop),
+            int(neg),
+            prev2,
+            prev,
+            cur,
+            widths,
+            1 if trace else 0,
+            out,
+        )
+        anti_diagonals = int(out[3])
+        results.append(
+            ExtensionResult(
+                best_score=int(out[0]),
+                query_end=int(out[1]),
+                target_end=int(out[2]),
+                anti_diagonals=anti_diagonals,
+                cells_computed=int(out[4]),
+                terminated_early=bool(out[5]),
+                band_widths=widths[:anti_diagonals].copy() if trace else None,
+            )
+        )
+    return results

@@ -17,6 +17,7 @@ See :mod:`repro.engine.base` for the protocol/registry and
 from .base import (
     AlignmentEngine,
     EngineBatchResult,
+    available_engines,
     describe_engines,
     engine_from_config,
     get_engine,
@@ -26,11 +27,13 @@ from .base import (
 )
 from .engines import (
     BatchedEngine,
+    CompiledEngine,
     Ksw2Engine,
     LoganEngine,
     ReferenceEngine,
     SeqAnEngine,
     VectorizedEngine,
+    WavefrontEngine,
 )
 
 __all__ = [
@@ -41,10 +44,13 @@ __all__ = [
     "get_engine",
     "engine_from_config",
     "list_engines",
+    "available_engines",
     "describe_engines",
     "ReferenceEngine",
     "VectorizedEngine",
     "BatchedEngine",
+    "CompiledEngine",
+    "WavefrontEngine",
     "SeqAnEngine",
     "Ksw2Engine",
     "LoganEngine",

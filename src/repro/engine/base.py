@@ -15,6 +15,16 @@ concrete class:
 The registry is open: downstream code can plug in its own engine with
 :func:`register_engine` (usable as a decorator) and the CLI / benchmarks
 pick it up automatically via :func:`list_engines`.
+
+Engines backed by *optional* dependencies register with
+``available=False`` and a human-readable ``reason`` (e.g. the ``compiled``
+engine when numba is not installed).  Unavailable engines stay visible —
+:func:`list_engines` and :func:`describe_engines` still report them, so
+configs naming one validate and ``--list-engines`` can explain what is
+missing — but instantiating one through :func:`get_engine` /
+:func:`engine_from_config` raises a :class:`ConfigurationError` carrying
+the recorded reason.  :func:`available_engines` lists only the engines
+that can actually be built.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ __all__ = [
     "get_engine",
     "engine_from_config",
     "list_engines",
+    "available_engines",
     "describe_engines",
 ]
 
@@ -101,24 +112,42 @@ class AlignmentEngine(Protocol):
         ...
 
 
-_REGISTRY: dict[str, Callable[..., AlignmentEngine]] = {}
+@dataclass(frozen=True)
+class _EngineEntry:
+    """Registry slot: the factory plus its optional-dependency status."""
+
+    factory: Callable[..., AlignmentEngine]
+    available: bool = True
+    reason: str | None = None
+
+
+_REGISTRY: dict[str, _EngineEntry] = {}
 
 
 def register_engine(
-    name: str, factory: Callable[..., AlignmentEngine] | None = None
+    name: str,
+    factory: Callable[..., AlignmentEngine] | None = None,
+    *,
+    available: bool = True,
+    reason: str | None = None,
 ):
     """Register an engine *factory* (a class or callable) under *name*.
 
     Usable directly (``register_engine("logan", LoganEngine)``) or as a
     class decorator (``@register_engine("logan")``).  Names are
     case-insensitive and must be unique.
+
+    An engine whose optional dependency is missing registers with
+    ``available=False`` and a *reason* naming the missing extra; it stays
+    listed but :func:`get_engine` refuses to build it, surfacing the reason
+    instead of an ``ImportError``.
     """
 
     def _register(obj: Callable[..., AlignmentEngine]):
         key = str(name).lower()
         if key in _REGISTRY:
             raise ConfigurationError(f"engine {key!r} is already registered")
-        _REGISTRY[key] = obj
+        _REGISTRY[key] = _EngineEntry(obj, bool(available), reason)
         return obj
 
     if factory is None:
@@ -131,6 +160,11 @@ def unregister_engine(name: str) -> None:
     _REGISTRY.pop(str(name).lower(), None)
 
 
+def _unavailable_message(key: str, entry: _EngineEntry) -> str:
+    reason = entry.reason or "its optional dependency is not installed"
+    return f"engine {key!r} is registered but unavailable: {reason}"
+
+
 def get_engine(name: str, **options: Any) -> AlignmentEngine:
     """Instantiate the engine registered under *name*.
 
@@ -139,12 +173,14 @@ def get_engine(name: str, **options: Any) -> AlignmentEngine:
     ``system``).
     """
     key = str(name).lower()
-    factory = _REGISTRY.get(key)
-    if factory is None:
+    entry = _REGISTRY.get(key)
+    if entry is None:
         raise ConfigurationError(
             f"unknown engine {name!r}; available: {', '.join(list_engines())}"
         )
-    return factory(**options)
+    if not entry.available:
+        raise ConfigurationError(_unavailable_message(key, entry))
+    return entry.factory(**options)
 
 
 def engine_from_config(config: Any) -> AlignmentEngine:
@@ -161,12 +197,15 @@ def engine_from_config(config: Any) -> AlignmentEngine:
     bare ``TypeError`` from deep inside the constructor.
     """
     key = str(config.engine).lower()
-    factory = _REGISTRY.get(key)
-    if factory is None:
+    entry = _REGISTRY.get(key)
+    if entry is None:
         raise ConfigurationError(
             f"engine: unknown engine {config.engine!r}; "
             f"available: {', '.join(list_engines())}"
         )
+    if not entry.available:
+        raise ConfigurationError(f"engine: {_unavailable_message(key, entry)}")
+    factory = entry.factory
     options: dict[str, Any] = {
         "scoring": config.scoring,
         "xdrop": config.xdrop,
@@ -209,26 +248,45 @@ get_engine.from_config = engine_from_config  # the config-first spelling
 
 
 def list_engines() -> list[str]:
-    """Sorted names of every registered engine."""
+    """Sorted names of every registered engine, unavailable ones included.
+
+    Unavailable engines stay listed so configs naming them validate and the
+    actionable build-time error (see :func:`get_engine`) is reachable; use
+    :func:`available_engines` for the buildable subset.
+    """
     return sorted(_REGISTRY)
+
+
+def available_engines() -> list[str]:
+    """Sorted names of the registered engines that can actually be built."""
+    return sorted(name for name, entry in _REGISTRY.items() if entry.available)
 
 
 def describe_engines() -> list[dict[str, Any]]:
     """One description row per registered engine, for CLI discovery.
 
     Each row carries the registered ``name``, the factory's ``exact`` flag
-    (``None`` when the factory does not declare one, e.g. a plain callable)
-    and the first line of its docstring as a human-readable ``summary``.
-    Introspection only — no engine is instantiated.
+    (``None`` when the factory does not declare one, e.g. a plain callable),
+    ``work_exact`` (whether work accounting and band traces are also
+    bit-identical to the reference; defaults to the ``exact`` flag when the
+    factory does not declare it), ``available``/``reason`` (optional-
+    dependency status) and the first line of its docstring as a
+    human-readable ``summary``.  Introspection only — no engine is
+    instantiated.
     """
     rows: list[dict[str, Any]] = []
     for name in list_engines():
-        factory = _REGISTRY[name]
+        entry = _REGISTRY[name]
+        factory = entry.factory
         doc = inspect.getdoc(factory) or ""
+        exact = getattr(factory, "exact", None)
         rows.append(
             {
                 "name": name,
-                "exact": getattr(factory, "exact", None),
+                "exact": exact,
+                "work_exact": getattr(factory, "work_exact", exact),
+                "available": entry.available,
+                "reason": entry.reason,
                 "summary": doc.splitlines()[0] if doc else "",
             }
         )

@@ -1,26 +1,36 @@
 """Concrete alignment engines wrapping every aligner in the library.
 
-Six engines ship with the package (names as registered):
+Eight engines ship with the package (names as registered):
 
-=============  =====================================================  ======
-name           implementation                                         exact
-=============  =====================================================  ======
-``reference``  per-job Python loop over the scalar reference kernel   yes
-``vectorized`` per-job loop over the per-pair vectorised kernel       yes
-``batched``    inter-sequence batched kernel — the whole batch is
-               packed into padded arrays and swept together
-               (:func:`repro.core.xdrop_batch.xdrop_extend_batch`)    yes
-``seqan``      SeqAn-like CPU batch runner + POWER9 platform model    yes
-``ksw2``       ksw2-style affine Z-drop runner + Skylake model        no
-``logan``      LOGAN batch aligner + V100 multi-GPU execution model   yes
-=============  =====================================================  ======
+==============  =====================================================  ======
+name            implementation                                         exact
+==============  =====================================================  ======
+``reference``   per-job Python loop over the scalar reference kernel   yes
+``vectorized``  per-job loop over the per-pair vectorised kernel       yes
+``batched``     inter-sequence batched kernel — the whole batch is
+                packed into padded arrays and swept together
+                (:func:`repro.core.xdrop_batch.xdrop_extend_batch`)    yes
+``compiled``    numba-JIT per-pair banded sweep sharing the batched
+                kernel's dtype tiers; registered unavailable (with
+                the reason) when numba is not installed
+                (:func:`repro.core.xdrop_compiled.xdrop_extend_compiled`)  yes
+``wavefront``   WFA-style furthest-reaching-point extension, unit
+                scoring only
+                (:func:`repro.core.wavefront.wavefront_extend_batch`)  yes*
+``seqan``       SeqAn-like CPU batch runner + POWER9 platform model    yes
+``ksw2``        ksw2-style affine Z-drop runner + Skylake model        no
+``logan``       LOGAN batch aligner + V100 multi-GPU execution model   yes
+==============  =====================================================  ======
 
 "exact" engines return scores, end positions and work accounting identical
 to :func:`repro.core.xdrop.xdrop_extend_reference` on every job; the parity
-test-suite enforces this.  All constructors share the
-``(scoring, xdrop, workers, trace)`` signature so :func:`repro.engine.get_engine`
-can build any of them uniformly; engines that cannot use an option accept
-and ignore it (documented per class).
+test-suite enforces this.  ``wavefront`` (*) is exact on scores, end
+positions and early-termination but computes in cost space, so its
+cells/anti-diagonal accounting is an honest estimate of the equivalent DP
+work rather than a bit-identical replay (``work_exact = False``).  All
+constructors share the ``(scoring, xdrop, workers, trace)`` signature so
+:func:`repro.engine.get_engine` can build any of them uniformly; engines
+that cannot use an option accept and ignore it (documented per class).
 """
 
 from __future__ import annotations
@@ -33,10 +43,16 @@ from ..core.job import AlignmentJob, summarize_results
 from ..core.result import ExtensionResult, SeedAlignmentResult
 from ..core.scoring import AffineScoringScheme, ScoringScheme
 from ..core.seed_extend import extend_seed
+from ..core.wavefront import ensure_unit_scoring, wavefront_extend_batch
 from ..core.xdrop import xdrop_extend_reference
+from ..core.xdrop_compiled import (
+    HAVE_NUMBA,
+    NUMBA_IMPORT_ERROR,
+    xdrop_extend_compiled,
+)
 from ..core.xdrop_vectorized import xdrop_extend
 from ..logan.host import prepare_batch
-from ..logan.kernel import execute_tasks_batched
+from ..logan.kernel import empty_extension, execute_tasks_batched
 from ..perf.parallel import parallel_map
 from ..perf.timers import Timer
 from .base import EngineBatchResult, register_engine
@@ -45,6 +61,8 @@ __all__ = [
     "ReferenceEngine",
     "VectorizedEngine",
     "BatchedEngine",
+    "CompiledEngine",
+    "WavefrontEngine",
     "SeqAnEngine",
     "Ksw2Engine",
     "LoganEngine",
@@ -217,6 +235,132 @@ class BatchedEngine(_EngineBase):
             summary=summarize_results(results),
             elapsed_seconds=timer.elapsed,
             extras={"kernel_stats": stats} if stats is not None else {},
+        )
+
+
+class _PairKernelEngine(_EngineBase):
+    """Engines that run one batch-kernel call over the prepared extensions.
+
+    Jobs are split at their seeds exactly like :class:`BatchedEngine`;
+    zero-length sides never reach the kernel (the shared batch-runner
+    contract) and are reinserted as zero-score extensions in task order.
+    Subclasses provide :meth:`_extend_pairs` mapping the live
+    ``(query, target)`` pairs to per-pair :class:`ExtensionResult`\\ s.
+    """
+
+    def _extend_pairs(self, pairs, scoring, xdrop) -> list[ExtensionResult]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def align_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring: ScoringScheme | None = None,
+        xdrop: int | None = None,
+    ) -> EngineBatchResult:
+        scoring, xdrop = self._resolve(scoring, xdrop)
+        timer = Timer()
+        with timer:
+            prepared = prepare_batch(jobs, scoring)
+            tasks = prepared.left_tasks + prepared.right_tasks
+            live = [task for task in tasks if not task.is_empty]
+            pairs = [(task.query, task.target) for task in live]
+            live_results = iter(
+                self._extend_pairs(pairs, scoring, xdrop) if pairs else []
+            )
+            sides: dict[tuple[int, str], ExtensionResult] = {}
+            for task in tasks:
+                ext = (
+                    empty_extension(self.trace)
+                    if task.is_empty
+                    else next(live_results)
+                )
+                sides[(task.job_index, task.direction)] = ext
+            results = []
+            for index, job in enumerate(jobs):
+                left = sides[(index, "left")]
+                right = sides[(index, "right")]
+                anchor = prepared.seed_scores[index]
+                seed = job.seed
+                results.append(
+                    SeedAlignmentResult(
+                        score=int(left.best_score + right.best_score + anchor),
+                        left=left,
+                        right=right,
+                        seed_score=anchor,
+                        query_begin=seed.query_pos - left.query_end,
+                        query_end=seed.query_end + right.query_end,
+                        target_begin=seed.target_pos - left.target_end,
+                        target_end=seed.target_end + right.target_end,
+                    )
+                )
+        return EngineBatchResult(
+            engine=self.name,
+            results=results,
+            summary=summarize_results(results),
+            elapsed_seconds=timer.elapsed,
+        )
+
+
+class CompiledEngine(_PairKernelEngine):
+    """numba-JIT per-pair banded sweep — the batched semantics without interpreter cost.
+
+    Runs :func:`repro.core.xdrop_compiled.xdrop_extend_compiled`: the scalar
+    reference recurrence compiled per pair, touching exactly the live band
+    (the effect the batched kernel's compaction/tiling approximates) with
+    the same dtype-tier overflow guard.  Bit-identical to the reference on
+    every scoring scheme, including work accounting and band traces.
+
+    The registry marks this engine unavailable when numba is not installed
+    (``repro-align --list-engines`` shows the reason); the class itself
+    still works everywhere by falling back to the pure-Python kernel, which
+    is what the test-suite exercises on numba-less environments.  ``workers``
+    is accepted for signature uniformity and ignored (the compiled loop is
+    already single-pass per pair).
+    """
+
+    name = "compiled"
+
+    def _extend_pairs(self, pairs, scoring, xdrop) -> list[ExtensionResult]:
+        return xdrop_extend_compiled(
+            pairs, scoring=scoring, xdrop=xdrop, trace=self.trace
+        )
+
+
+class WavefrontEngine(_PairKernelEngine):
+    """WFA-style furthest-reaching-point X-drop extension (unit scoring only).
+
+    Runs :func:`repro.core.wavefront.wavefront_extend_batch`: snake-walking
+    furthest-reaching points per (cost, diagonal) instead of sweeping DP
+    anti-diagonals, so work scales with accumulated *cost* rather than
+    sequence length — on high-identity reads this removes almost all of the
+    anti-diagonal stepping and beats the batched kernel outright.
+
+    Exact on scores, end positions and early-termination for the unit
+    scheme (match=+1, mismatch=-1, gap=-1) only; any other scheme raises
+    :class:`ConfigurationError` at construction and on per-call overrides.
+    Cost-space execution has no per-anti-diagonal band, so cells /
+    anti-diagonal accounting is an honest equivalent-work estimate
+    (``work_exact = False``).  ``workers`` is accepted for signature
+    uniformity and ignored.
+    """
+
+    name = "wavefront"
+    work_exact = False
+
+    def __init__(
+        self,
+        scoring: ScoringScheme | None = None,
+        xdrop: int = 100,
+        workers: int = 1,
+        trace: bool = False,
+    ) -> None:
+        super().__init__(scoring=scoring, xdrop=xdrop, workers=workers, trace=trace)
+        ensure_unit_scoring(self.scoring)
+
+    def _extend_pairs(self, pairs, scoring, xdrop) -> list[ExtensionResult]:
+        ensure_unit_scoring(scoring)
+        return wavefront_extend_batch(
+            pairs, scoring=scoring, xdrop=xdrop, trace=self.trace
         )
 
 
@@ -411,6 +555,18 @@ class LoganEngine(_EngineBase):
 register_engine("reference", ReferenceEngine)
 register_engine("vectorized", VectorizedEngine)
 register_engine("batched", BatchedEngine)
+register_engine(
+    "compiled",
+    CompiledEngine,
+    available=HAVE_NUMBA,
+    reason=None
+    if HAVE_NUMBA
+    else (
+        "the optional dependency numba is not installed "
+        f"(pip install numba): {NUMBA_IMPORT_ERROR}"
+    ),
+)
+register_engine("wavefront", WavefrontEngine)
 register_engine("seqan", SeqAnEngine)
 register_engine("ksw2", Ksw2Engine)
 register_engine("logan", LoganEngine)

@@ -64,6 +64,16 @@ _EXTENSION_FIELDS = (
     "terminated_early",
 )
 
+#: The semantic subset checked for exact engines whose *work accounting*
+#: is an estimate rather than a DP replay (``work_exact = False`` in the
+#: registry, e.g. the cost-space wavefront engine).
+_CORE_EXTENSION_FIELDS = (
+    "best_score",
+    "query_end",
+    "target_end",
+    "terminated_early",
+)
+
 #: Top-level result fields that must match bit-for-bit.
 _RESULT_FIELDS = (
     "score",
@@ -229,20 +239,28 @@ def compare_results(
     expected: SeedAlignmentResult,
     actual: SeedAlignmentResult,
     trace: bool = False,
+    work_exact: bool = True,
 ) -> list[FieldMismatch]:
-    """Field-by-field bit-identity check of two seed-alignment results."""
+    """Field-by-field bit-identity check of two seed-alignment results.
+
+    With ``work_exact=False`` the per-extension comparison is restricted to
+    the semantic fields (score, extents, early termination) and band traces
+    are not compared — the contract of exact engines whose work accounting
+    is an estimate (see :func:`repro.engine.describe_engines`).
+    """
     mismatches: list[FieldMismatch] = []
     for name in _RESULT_FIELDS:
         exp, act = getattr(expected, name), getattr(actual, name)
         if int(exp) != int(act):
             mismatches.append(FieldMismatch(name, int(exp), int(act)))
+    extension_fields = _EXTENSION_FIELDS if work_exact else _CORE_EXTENSION_FIELDS
     for side in ("left", "right"):
         exp_ext, act_ext = getattr(expected, side), getattr(actual, side)
-        for name in _EXTENSION_FIELDS:
+        for name in extension_fields:
             exp, act = getattr(exp_ext, name), getattr(act_ext, name)
             if bool(exp != act):
                 mismatches.append(FieldMismatch(f"{side}.{name}", exp, act))
-        if trace:
+        if trace and work_exact:
             exp_bw, act_bw = exp_ext.band_widths, act_ext.band_widths
             same = (exp_bw is None) == (act_bw is None) and (
                 exp_bw is None or np.array_equal(exp_bw, act_bw)
@@ -264,9 +282,10 @@ class ConformanceRunner:
         and ``trace`` (shared by every engine) plus the engine/serving
         parameters of the service path.  Defaults to ``AlignConfig()``.
     engines:
-        Engine names to test (default: every registered engine).  The
-        oracle (``reference``) is always available and never compared to
-        itself.
+        Engine names to test (default: every *available* registered
+        engine; explicitly naming an unavailable optional engine raises
+        with the recorded reason).  The oracle (``reference``) is always
+        available and never compared to itself.
     include_service:
         Also run the :class:`~repro.service.AlignmentService` path and a
         second, cache-served round.
@@ -290,14 +309,32 @@ class ConformanceRunner:
 
             config = AlignConfig()
         self.config = config
-        available = list_engines()
-        names = list(engines) if engines is not None else available
-        unknown = sorted(set(n.lower() for n in names) - set(available))
-        if unknown:
-            raise ConfigurationError(
-                f"unknown engine(s) {', '.join(map(repr, unknown))}; "
-                f"available: {', '.join(available)}"
+        registered = list_engines()
+        rows = {row["name"]: row for row in describe_engines()}
+        if engines is not None:
+            names = list(engines)
+            unknown = sorted(set(n.lower() for n in names) - set(registered))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown engine(s) {', '.join(map(repr, unknown))}; "
+                    f"available: {', '.join(registered)}"
+                )
+            unavailable = sorted(
+                n.lower() for n in names if not rows[n.lower()]["available"]
             )
+            if unavailable:
+                details = "; ".join(
+                    f"{n}: {rows[n]['reason'] or 'optional dependency missing'}"
+                    for n in unavailable
+                )
+                raise ConfigurationError(
+                    f"engine(s) {', '.join(map(repr, unavailable))} are "
+                    f"registered but unavailable ({details})"
+                )
+        else:
+            # Default sweep covers everything that can actually be built;
+            # optional engines whose dependency is missing are skipped.
+            names = [n for n in registered if rows[n]["available"]]
         self.engine_names = [n.lower() for n in names]
         self.include_service = include_service
         self.shrink = shrink
@@ -322,6 +359,12 @@ class ConformanceRunner:
         # exactness (``exact`` is None) gets the weaker determinism check.
         exact = {row["name"]: row["exact"] for row in describe_engines()}
         return bool(exact.get(name))
+
+    def _is_work_exact(self, name: str) -> bool:
+        # Whether the engine's work accounting / band traces are also
+        # bit-identical (restricts the compared fields when not).
+        rows = {row["name"]: row["work_exact"] for row in describe_engines()}
+        return bool(rows.get(name))
 
     def _oracle_results(self, jobs: Sequence[AlignmentJob]) -> list[SeedAlignmentResult]:
         return self._build(ORACLE_ENGINE).align_batch(list(jobs)).results
@@ -473,9 +516,10 @@ class ConformanceRunner:
         ):
             return
         trace = self.config.trace
+        work_exact = self._is_work_exact(name)
         for index, (exp, act) in enumerate(zip(oracle, results)):
             report.comparisons += 1
-            mismatches = compare_results(exp, act, trace=trace)
+            mismatches = compare_results(exp, act, trace=trace, work_exact=work_exact)
             if not mismatches:
                 continue
 
@@ -485,7 +529,7 @@ class ConformanceRunner:
                 if len(act_b) != len(exp_b):
                     return 0, [FieldMismatch("result_count", len(exp_b), len(act_b))]
                 for i, (e, a) in enumerate(zip(exp_b, act_b)):
-                    found = compare_results(e, a, trace=trace)
+                    found = compare_results(e, a, trace=trace, work_exact=work_exact)
                     if found:
                         return i, found
                 return None
@@ -543,6 +587,7 @@ class ConformanceRunner:
             not self.config.engine_options
             and self.config.bandwidth is None
             and self._is_exact(self.config.engine)
+            and self._is_work_exact(self.config.engine)
         ):
             return oracle
         if self._config_engine is None:

@@ -66,6 +66,28 @@ class TestSchema:
         other.xdrop = 49
         assert other.signature() != make_entry().signature()
 
+    def test_profile_entry_round_trips_and_signs_distinctly(self):
+        entry = make_entry()
+        entry.profile = "pacbio"
+        entry.extra = {"workload": {"min_length": 2000, "max_length": 4000}}
+        clone = BenchEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert clone.profile == "pacbio"
+        assert clone.signature() == entry.signature()
+        # A profile series never matches the default-workload series, and
+        # different workload knobs open distinct series within a profile.
+        assert entry.signature() != make_entry().signature()
+        other = BenchEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+        other.extra = {"workload": {"min_length": 100, "max_length": 4000}}
+        assert other.signature() != entry.signature()
+        assert "profile=pacbio" in entry.formatted()
+
+    def test_legacy_entry_without_profile_keeps_signature(self):
+        # Pre-profile trajectory entries have no "profile" key; they must
+        # keep matching runs of the default workload.
+        data = make_entry().to_dict()
+        del data["profile"]
+        assert BenchEntry.from_dict(data).signature() == make_entry().signature()
+
     def test_timestamp_autofilled_and_formatted(self):
         entry = make_entry()
         assert entry.timestamp
@@ -243,6 +265,61 @@ class TestRunnersAndCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "compare vs baseline" in out
+
+    def test_engine_runner_profile_workload(self):
+        entry = run_engine_bench(
+            pairs=3,
+            engines=["reference", "wavefront"],
+            seed=7,
+            profile="pacbio",
+            min_length=60,
+            max_length=120,
+            error_rate=0.05,
+        )
+        assert entry.profile == "pacbio"
+        assert entry.extra["workload"]["min_length"] == 60
+        assert entry.row("wavefront").scores_identical_to_reference
+
+    def test_engine_runner_rejects_workload_knobs_without_profile(self):
+        with pytest.raises(ConfigurationError, match="profile"):
+            run_engine_bench(pairs=4, min_length=60)
+
+    def test_cli_perf_missing_baseline_message_and_strict(self, tmp_path, capsys):
+        baseline = tmp_path / "engines.json"
+        args = [
+            "--pairs", "3", "--engines", "reference", "wavefront",
+            "--profile", "ont", "--baseline", str(baseline), "--seed", "7",
+        ]
+        # No baseline for this series yet: explain, exit 0 by default.
+        assert main_bench_perf(args) == 0
+        out = capsys.readouterr().out
+        assert "no baseline recorded for series 'engines/ont'" in out
+        assert "--record" in out
+        # --strict turns the missing baseline into a gate failure.
+        assert main_bench_perf(args + ["--strict"]) == 1
+        # Record, then re-run strict: series exists, gate passes.
+        assert main_bench_perf(args + ["--record"]) == 0
+        capsys.readouterr()
+        assert main_bench_perf(args + ["--strict", "--tolerance", "0.99"]) == 0
+        assert "compare vs baseline" in capsys.readouterr().out
+
+    def test_cli_perf_missing_engine_row_reported(self, tmp_path, capsys):
+        baseline = tmp_path / "engines.json"
+        common = ["--pairs", "3", "--baseline", str(baseline), "--seed", "7"]
+        assert main_bench_perf(
+            common + ["--engines", "reference", "batched", "--record"]
+        ) == 0
+        capsys.readouterr()
+        # Same series, new engine: the entry matches but the wavefront row
+        # has no baseline — say so per engine; only --strict gates on it.
+        args = common + [
+            "--engines", "reference", "batched", "wavefront",
+            "--tolerance", "0.99",
+        ]
+        assert main_bench_perf(args) == 0
+        out = capsys.readouterr().out
+        assert "engine 'wavefront'" in out and "no baseline recorded" in out
+        assert main_bench_perf(args + ["--strict"]) == 1
 
     def test_cli_perf_artifact_and_json(self, tmp_path, capsys):
         artifact = tmp_path / "report.json"

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api import AlignConfig
-from repro.engine import list_engines, register_engine, unregister_engine
+from repro.engine import available_engines, register_engine, unregister_engine
 from repro.engine.engines import ReferenceEngine
 from repro.errors import ConfigurationError
 from repro.testing import (
@@ -30,7 +30,7 @@ SMALL = WorkloadSpec(count=4, seed=11, min_length=50, max_length=120, xdrop=15)
 # Tier-2 matrix: workload bank x engine grid, plus the service path
 # --------------------------------------------------------------------------- #
 @pytest.mark.tier2
-@pytest.mark.parametrize("engine", sorted(set(list_engines()) - {"reference"}))
+@pytest.mark.parametrize("engine", sorted(set(available_engines()) - {"reference"}))
 @pytest.mark.parametrize("profile", list_profiles())
 class TestConformanceMatrix:
     def test_profile_engine_conformance(self, profile, engine):

@@ -249,6 +249,72 @@ def test_dtype_tiers_agree_with_reference():
         assert_identical(got, ref)
 
 
+def _run_compiled(pairs, scoring=None, xdrop=100):
+    from repro.core.xdrop_compiled import xdrop_extend_compiled
+
+    return xdrop_extend_compiled(pairs, scoring=scoring, xdrop=xdrop, trace=True)
+
+
+def _run_batched(pairs, scoring=None, xdrop=100):
+    return xdrop_extend_batch(pairs, scoring=scoring, xdrop=xdrop, trace=True)
+
+
+@pytest.mark.parametrize(
+    "run_kernel", [_run_batched, _run_compiled], ids=["batched", "compiled"]
+)
+@pytest.mark.parametrize(
+    "length, scoring, xdrop, expected_dtype",
+    [
+        # Long near-identical pair: the running best climbs past the int16
+        # sentinel magnitude (2**14), so int16 buffers would corrupt the
+        # pruning comparisons — the guard must take the int32 tier.
+        (2100, ScoringScheme(match=8, mismatch=-8, gap=-8), 40, "int32"),
+        # X threshold alone floods the int32 bound: int64 fallback.
+        (300, ScoringScheme(), 2**31, "int64"),
+    ],
+    ids=["score-exceeds-int16", "xdrop-exceeds-int32"],
+)
+def test_overflow_guard_on_near_identical_pairs(
+    run_kernel, length, scoring, xdrop, expected_dtype
+):
+    """Wavefront-shaped adversarial input: long, almost-identical pairs.
+
+    The ``batched`` and ``compiled`` kernels share ``_select_dtype``; both
+    must pick the same widened tier and stay bit-identical to the scalar
+    reference (which always computes in Python ints).
+    """
+    from repro.core.xdrop_batch import _select_dtype
+
+    rng = np.random.default_rng(41)
+    q = rng.integers(0, 4, size=length).astype(np.uint8)
+    t = q.copy()
+    for pos in rng.choice(length, size=8, replace=False):
+        t[pos] = (int(t[pos]) + 1 + int(rng.integers(0, 3))) % 4
+    pairs = [(q, t), (q.copy(), q.copy())]
+
+    dtype, _ = _select_dtype(length, length, scoring, xdrop)
+    assert np.dtype(dtype).name == expected_dtype
+
+    got = run_kernel(pairs, scoring=scoring, xdrop=xdrop)
+    ref = [
+        xdrop_extend_reference(a, b, scoring=scoring, xdrop=xdrop, trace=True)
+        for a, b in pairs
+    ]
+    assert_identical(got, ref)
+    # the identical pair really does exceed the int16 sentinel in tier one
+    if expected_dtype == "int32":
+        assert got[1].best_score == length * scoring.match > 2**14
+
+
+def test_overflow_guard_batched_stats_report_widened_tier():
+    rng = np.random.default_rng(42)
+    q = rng.integers(0, 4, size=2100).astype(np.uint8)
+    scoring = ScoringScheme(match=8, mismatch=-8, gap=-8)
+    stats = BatchKernelStats()
+    xdrop_extend_batch([(q, q.copy())], scoring=scoring, xdrop=40, stats=stats)
+    assert stats.dtype == "int32"
+
+
 def test_invalid_knobs_rejected():
     pairs = [("ACGT", "ACGT")]
     with pytest.raises(ConfigurationError):
