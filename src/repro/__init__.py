@@ -40,7 +40,12 @@ pure Python/NumPy:
   replaying workloads through every engine and the service with
   shrink-on-failure reporting (``repro-fuzz`` CLI, CI ``fuzz-smoke``);
 * :mod:`repro.roofline` — the adapted instruction Roofline model (Eq. 1);
-* :mod:`repro.perf` — timers, GCUPS/speed-up metrics, process-pool helpers.
+* :mod:`repro.perf` — timers, GCUPS/speed-up metrics, process-pool helpers;
+* :mod:`repro.obs` — the unified telemetry subsystem: labelled metrics
+  registry (always live), opt-in structured tracing with context
+  propagation, a flight-recorder crash ring, JSON-lines/Prometheus
+  exporters and provenance stamping (``repro-obs`` CLI, CI
+  ``metrics-smoke``).
 
 Quickstart
 ----------
@@ -90,7 +95,7 @@ from .api import AlignConfig, Aligner, ServiceConfig
 from .engine import describe_engines, get_engine, list_engines, register_engine
 from .service import AlignmentService
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -1,9 +1,9 @@
 """``python -m repro <tool>`` — console-script dispatch without installation.
 
-The package ships five console entry points (``repro-align``,
-``repro-bella``, ``repro-bench``, ``repro-service``, ``repro-fuzz``);
-when the package is used straight off ``PYTHONPATH=src`` — the CI and
-laptop workflow — this module provides the same surface:
+The package ships six console entry points (``repro-align``,
+``repro-bella``, ``repro-bench``, ``repro-service``, ``repro-fuzz``,
+``repro-obs``); when the package is used straight off ``PYTHONPATH=src``
+— the CI and laptop workflow — this module provides the same surface:
 
 .. code-block:: console
 
@@ -15,7 +15,14 @@ from __future__ import annotations
 
 import sys
 
-from .cli import main_align, main_bella, main_bench, main_fuzz, main_service
+from .cli import (
+    main_align,
+    main_bella,
+    main_bench,
+    main_fuzz,
+    main_obs,
+    main_service,
+)
 
 _TOOLS = {
     "align": main_align,
@@ -23,6 +30,7 @@ _TOOLS = {
     "bench": main_bench,
     "service": main_service,
     "fuzz": main_fuzz,
+    "obs": main_obs,
 }
 
 

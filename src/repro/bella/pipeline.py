@@ -33,6 +33,7 @@ from ..core.job import AlignmentJob, BatchWorkSummary, summarize_results
 from ..core.result import SeedAlignmentResult
 from ..core.scoring import ScoringScheme
 from ..errors import ConfigurationError
+from ..obs.runtime import get_observability
 from ..perf.timers import StageTimer
 from .binning import SeedChoice, choose_seed
 from .kmer import KmerIndex, build_kmer_index
@@ -274,53 +275,75 @@ class BellaPipeline:
         if len(sequences) < 2:
             raise ConfigurationError("BELLA needs at least two reads")
         timer = StageTimer()
+        ob = get_observability()
 
-        with timer.stage("kmer_analysis"):
-            index = build_kmer_index(
-                sequences,
-                k=self.k,
-                lower=self.reliable_lower,
-                upper=self.reliable_upper,
-            )
-
-        with timer.stage("overlap_detection"):
-            candidates = find_candidate_overlaps(
-                index, min_shared_kmers=self.min_shared_kmers
-            )
-
-        with timer.stage("seed_selection"):
-            jobs, choices, kept = self._build_jobs(sequences, candidates.candidates)
-
-        if jobs:
-            with timer.stage("alignment"):
-                if self._service is not None:
-                    # Service-backed path: per-job submission; the service
-                    # batches, caches and shards behind the scenes.
-                    results = self._service.map(jobs)
-                    modeled = None
-                else:
-                    batch = self.aligner.align_batch(jobs)
-                    results = list(batch.results)
-                    modeled = getattr(batch, "modeled_seconds", None)
-        else:
-            results = []
-            modeled = 0.0
-
-        with timer.stage("classification"):
-            overlaps = []
-            for candidate, choice, result in zip(kept, choices, results):
-                accepted = self.threshold.passes(result.score, choice.overlap_estimate)
-                overlaps.append(
-                    BellaOverlap(
-                        read_i=candidate.read_i,
-                        read_j=candidate.read_j,
-                        score=result.score,
-                        overlap_estimate=choice.overlap_estimate,
-                        shared_kmers=candidate.shared_kmers,
-                        accepted=accepted,
-                        alignment=result,
-                    )
+        with ob.span("bella.run", reads=len(sequences)):
+            with ob.span("bella.kmer_analysis"), timer.stage("kmer_analysis"):
+                index = build_kmer_index(
+                    sequences,
+                    k=self.k,
+                    lower=self.reliable_lower,
+                    upper=self.reliable_upper,
                 )
+
+            with ob.span("bella.overlap_detection"), timer.stage(
+                "overlap_detection"
+            ):
+                candidates = find_candidate_overlaps(
+                    index, min_shared_kmers=self.min_shared_kmers
+                )
+
+            with ob.span("bella.seed_selection"), timer.stage("seed_selection"):
+                jobs, choices, kept = self._build_jobs(
+                    sequences, candidates.candidates
+                )
+
+            if jobs:
+                with ob.span("bella.alignment", jobs=len(jobs)), timer.stage(
+                    "alignment"
+                ):
+                    if self._service is not None:
+                        # Service-backed path: per-job submission; the service
+                        # batches, caches and shards behind the scenes.
+                        results = self._service.map(jobs)
+                        modeled = None
+                    else:
+                        batch = self.aligner.align_batch(jobs)
+                        results = list(batch.results)
+                        modeled = getattr(batch, "modeled_seconds", None)
+            else:
+                results = []
+                modeled = 0.0
+
+            with ob.span("bella.classification"), timer.stage("classification"):
+                overlaps = []
+                for candidate, choice, result in zip(kept, choices, results):
+                    accepted = self.threshold.passes(
+                        result.score, choice.overlap_estimate
+                    )
+                    overlaps.append(
+                        BellaOverlap(
+                            read_i=candidate.read_i,
+                            read_j=candidate.read_j,
+                            score=result.score,
+                            overlap_estimate=choice.overlap_estimate,
+                            shared_kmers=candidate.shared_kmers,
+                            accepted=accepted,
+                            alignment=result,
+                        )
+                    )
+
+        # Per-run stage breakdown folded into the process-wide registry so
+        # exported snapshots carry the pipeline's stage heat.
+        reg = ob.registry
+        reg.counter("repro_bella_runs_total", "pipeline runs completed").inc()
+        stage_seconds = reg.counter(
+            "repro_bella_stage_seconds_total",
+            "wall seconds per pipeline stage",
+            ("stage",),
+        )
+        for name, secs in timer.stages.items():
+            stage_seconds.inc(secs, stage=name)
 
         return BellaResult(
             overlaps=overlaps,

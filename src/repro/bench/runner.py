@@ -15,6 +15,8 @@ from ..core.scoring import ScoringScheme
 from ..data import PairSetSpec, generate_pair_set
 from ..engine import available_engines, get_engine, list_engines
 from ..errors import ConfigurationError
+from ..obs.provenance import build_provenance
+from ..obs.runtime import get_observability
 from ..perf.metrics import gcups
 from ..perf.timers import Timer
 from .schema import BenchEntry, BenchResult
@@ -185,6 +187,9 @@ def run_engine_bench(
         profile=profile or "",
         rows=rows,
         extra={"workload": workload_params} if workload_params else {},
+        metrics=get_observability()
+        .registry.snapshot(provenance=build_provenance(seed=seed))
+        .to_dict(),
     )
 
 
@@ -250,6 +255,9 @@ def run_service_bench(
         service.drain()
         resubmit_scores = [t.result(timeout=120.0).score for t in tickets2]
     stats = service.stats()
+    metrics = service.metrics_snapshot(
+        provenance=build_provenance(seed=seed)
+    ).to_dict()
     service.shutdown()
 
     cells = direct.summary.cells
@@ -300,5 +308,6 @@ def run_service_bench(
             "kernel_live_fraction": stats.kernel_live_fraction,
             "suggested_batch_size": stats.suggested_batch_size,
         },
+        metrics=metrics,
     )
     return entry

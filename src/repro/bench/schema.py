@@ -111,6 +111,9 @@ class BenchEntry:
     profile: str = ""
     rows: list[BenchResult] = field(default_factory=list)
     extra: dict[str, Any] = field(default_factory=dict)
+    #: Metrics-registry snapshot of the run (``MetricsSnapshot.to_dict()``),
+    #: empty for entries recorded before the telemetry subsystem existed.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.timestamp:
@@ -173,6 +176,7 @@ class BenchEntry:
             "profile": self.profile,
             "rows": [row.to_dict() for row in self.rows],
             "extra": dict(self.extra),
+            "metrics": dict(self.metrics),
         }
 
     @classmethod
@@ -191,6 +195,7 @@ class BenchEntry:
                 profile=str(data.get("profile", "")),
                 rows=rows,
                 extra=dict(data.get("extra", {})),
+                metrics=dict(data.get("metrics", {})),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ConfigurationError(

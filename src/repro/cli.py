@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five console scripts are installed with the package:
+Six console scripts are installed with the package:
 
 ``repro-align``
     Align a synthetic benchmark pair set (or two FASTA files) with LOGAN and
@@ -30,6 +30,13 @@ Five console scripts are installed with the package:
     workloads (:mod:`repro.workloads`) through every registered engine and
     the service path, asserting bit-identity with the scalar reference and
     printing the shrunk minimal failing pair on a violation.
+
+``repro-obs``
+    The telemetry subsystem's front door: ``demo`` runs a small traced
+    workload and prints/exports the resulting metrics; ``read`` parses a
+    JSON-lines metrics file back into snapshots; ``overhead`` measures the
+    cost of full observability against a disabled run on the quick bench
+    workload.
 
 Every subcommand shares one declarative configuration surface: the
 ``alignment configuration`` argument group is generated from the fields of
@@ -67,6 +74,7 @@ __all__ = [
     "main_bench_perf",
     "main_service",
     "main_fuzz",
+    "main_obs",
 ]
 
 
@@ -315,12 +323,16 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
         "alignment_cells": result.work.cells,
         "alignment_modeled_seconds": result.alignment_modeled_seconds,
         "stage_seconds": dict(result.timer.stages),
+        "stage_breakdown": result.timer.to_dict(),
     }
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         for key, value in payload.items():
+            if key == "stage_breakdown":
+                continue
             print(f"{key:>26s}: {value}")
+        print(result.timer.report())
     return 0
 
 
@@ -734,6 +746,36 @@ def main_service(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="process on drain instead of a background thread (deterministic)",
     )
+    serve.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="export metrics-registry snapshots to this file",
+    )
+    serve.add_argument(
+        "--metrics-format",
+        choices=("jsonl", "prom"),
+        default="jsonl",
+        help="snapshot format: JSON lines (append) or Prometheus text (rewrite)",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        help="seconds between interval exports (background mode)",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable span tracing and the flight recorder for this run",
+    )
+    serve.add_argument(
+        "--flight-recorder-out",
+        type=str,
+        default=None,
+        help="write a flight-recorder dump to this file after the run "
+        "(implies --trace)",
+    )
     _add_service_arguments(serve, _SERVE_DEFAULTS)
 
     submit = sub.add_parser(
@@ -775,10 +817,13 @@ def _fasta_jobs(
 
 
 def _run_serve(args, parser) -> int:
+    from . import obs as obs_mod
     from .perf.timers import Timer
     from .service import AlignmentService
 
     config = _service_config_from_args(args, _SERVE_DEFAULTS)
+    if args.trace or args.flight_recorder_out:
+        obs_mod.configure(tracing=True, flight_recorder=True)
     if args.query_fasta and args.target_fasta:
         jobs = _fasta_jobs(
             parser, args.query_fasta, args.target_fasta, config.seed_policy
@@ -796,8 +841,21 @@ def _run_serve(args, parser) -> int:
         )
 
     service = AlignmentService(config=config)
+    exporter = None
+    if args.metrics_out:
+        recorder = service.obs.recorder
+        exporter = obs_mod.IntervalExporter(
+            service.obs.registry,
+            args.metrics_out,
+            fmt=args.metrics_format,
+            interval=args.metrics_interval,
+            provenance=obs_mod.build_provenance(config=config, seed=args.seed),
+            on_export=recorder.tick if recorder is not None else None,
+        )
     if not args.inline:
         service.start()
+        if exporter is not None:
+            exporter.start()
     timer = Timer()
     with timer:
         rounds = []
@@ -805,7 +863,17 @@ def _run_serve(args, parser) -> int:
             tickets = service.submit_many(jobs)
             service.drain()
             rounds.append([t.result(timeout=60.0).score for t in tickets])
+            if exporter is not None:
+                exporter.export_now()
     stats = service.stats()
+    if exporter is not None:
+        exporter.stop(final_export=True)
+    if args.flight_recorder_out and service.obs.recorder is not None:
+        service.obs.recorder.dump(
+            path=args.flight_recorder_out,
+            reason="serve_exit",
+            provenance=obs_mod.build_provenance(config=config, seed=args.seed),
+        )
     service.shutdown()
 
     payload = {
@@ -818,6 +886,11 @@ def _run_serve(args, parser) -> int:
         "rounds_identical": all(r == rounds[0] for r in rounds),
         **stats.to_dict(),
     }
+    if exporter is not None:
+        payload["metrics_out"] = args.metrics_out
+        payload["metrics_exports"] = exporter.exports
+    if args.flight_recorder_out:
+        payload["flight_recorder_out"] = args.flight_recorder_out
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -992,6 +1065,247 @@ def main_fuzz(argv: Sequence[str] | None = None) -> int:
     else:
         print(report.summary())
     return 0 if report.ok else 1
+
+
+def main_obs(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-obs``: telemetry demo, reader, and overhead gate.
+
+    ``demo`` runs a small mixed workload through the alignment service with
+    tracing and the flight recorder enabled, then prints the resulting
+    metrics snapshot (Prometheus text or JSON).  ``read`` parses a
+    JSON-lines metrics file written by ``repro-service serve --metrics-out``
+    back into snapshots and summarises the series.  ``overhead`` times the
+    quick engine benchmark with observability disabled and again with full
+    tracing + flight recorder, printing the relative cost against the
+    subsystem's < 5 % budget (``--check`` turns the budget into the exit
+    status).
+    """
+    from . import obs as obs_mod
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect and exercise the unified telemetry subsystem.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser(
+        "demo",
+        help="run a small traced workload and print its metrics snapshot",
+    )
+    demo.add_argument("--pairs", type=int, default=48, help="workload size")
+    demo.add_argument("--seed", type=int, default=2020, help="workload RNG seed")
+    demo.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="snapshot rendering (Prometheus text or JSON)",
+    )
+    demo.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write the rendered snapshot to this file",
+    )
+    demo.add_argument(
+        "--flight-recorder-out",
+        type=str,
+        default=None,
+        metavar="JSON",
+        help="dump the flight recorder ring to this file on exit",
+    )
+
+    read = sub.add_parser(
+        "read",
+        help="summarise a JSON-lines metrics file (repro-service --metrics-out)",
+    )
+    read.add_argument("path", type=str, help="JSON-lines metrics file")
+    read.add_argument(
+        "--series",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="only show these series (repeatable; default: all)",
+    )
+    read.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    overhead = sub.add_parser(
+        "overhead",
+        help="measure full-observability cost vs a disabled run (< 5 %% budget)",
+    )
+    overhead.add_argument("--pairs", type=int, default=64, help="workload size")
+    overhead.add_argument("--seed", type=int, default=2020, help="workload RNG seed")
+    overhead.add_argument(
+        "--repeats", type=int, default=3, help="runs per mode (best-of)"
+    )
+    overhead.add_argument(
+        "--budget",
+        type=float,
+        default=0.05,
+        help="relative overhead budget (default 0.05 = 5%%)",
+    )
+    overhead.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the measured overhead exceeds the budget",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _run_obs_demo(args, obs_mod)
+    if args.command == "read":
+        return _run_obs_read(args, obs_mod)
+    return _run_obs_overhead(args, obs_mod)
+
+
+def _obs_demo_workload(pairs: int, seed: int) -> "list[AlignmentJob]":
+    return generate_pair_set(
+        PairSetSpec(
+            num_pairs=pairs,
+            min_length=200,
+            max_length=600,
+            pairwise_error_rate=0.15,
+            unrelated_fraction=0.1,
+            seed_placement="middle",
+            rng_seed=seed,
+        )
+    )
+
+
+def _run_obs_demo(args, obs_mod) -> int:
+    from .api import ServiceConfig
+    from .service import AlignmentService
+
+    obs_mod.configure(tracing=True, flight_recorder=True)
+    try:
+        jobs = _obs_demo_workload(args.pairs, args.seed)
+        config = AlignConfig(
+            engine="batched",
+            service=ServiceConfig(cache_capacity=4 * len(jobs)),
+        )
+        service = AlignmentService(config=config)
+        try:
+            tickets = service.submit_many(jobs)
+            service.drain()
+            for ticket in tickets:
+                ticket.result(timeout=120.0)
+            # A resubmission round so the demo snapshot shows cache hits.
+            tickets = service.submit_many(jobs)
+            service.drain()
+            for ticket in tickets:
+                ticket.result(timeout=120.0)
+            snapshot = service.metrics_snapshot()
+        finally:
+            service.shutdown()
+        if args.format == "prom":
+            rendered = obs_mod.render_prometheus(snapshot)
+        else:
+            rendered = json.dumps(snapshot.to_dict(), indent=2, sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        print(rendered, end="")
+        recorder = obs_mod.get_observability().recorder
+        if recorder is not None:
+            print(
+                f"# flight recorder: {recorder.span_count} spans, "
+                f"{recorder.event_count} events",
+                file=sys.stderr,
+            )
+            if args.flight_recorder_out:
+                recorder.dump(
+                    path=args.flight_recorder_out,
+                    reason="obs_demo",
+                    provenance=obs_mod.build_provenance(
+                        config=config, seed=args.seed
+                    ),
+                )
+                print(
+                    f"# flight recorder dump: {args.flight_recorder_out}",
+                    file=sys.stderr,
+                )
+        return 0
+    finally:
+        obs_mod.reset()
+
+
+def _run_obs_read(args, obs_mod) -> int:
+    try:
+        snapshots = obs_mod.read_jsonl(args.path)
+    except OSError as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    if not snapshots:
+        print(f"{args.path}: no snapshots")
+        return 0
+    last = snapshots[-1]
+    wanted = set(args.series) if args.series else None
+    samples = [
+        s
+        for s in sorted(
+            last.series, key=lambda s: (s.name, sorted(s.labels.items()))
+        )
+        if wanted is None or s.name in wanted
+    ]
+    if args.json:
+        payload = {
+            "path": args.path,
+            "snapshots": len(snapshots),
+            "series": [s.to_dict() for s in samples],
+            "provenance": last.provenance,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.path}: {len(snapshots)} snapshot(s); latest:")
+    for sample in samples:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(sample.labels.items()))
+        suffix = f"{{{labels}}}" if labels else ""
+        if sample.kind == "histogram" and sample.histogram is not None:
+            print(
+                f"  {sample.name}{suffix}  count={sample.histogram['count']} "
+                f"sum={sample.histogram['sum']:.6g}"
+            )
+        else:
+            print(f"  {sample.name}{suffix}  {sample.value:.6g}")
+    if last.provenance:
+        sha = last.provenance.get("git_sha", "")
+        print(f"  (provenance: git_sha={sha or 'unknown'})")
+    return 0
+
+
+def _run_obs_overhead(args, obs_mod) -> int:
+    from .bench.runner import engine_bench_jobs
+    from .engine import get_engine
+
+    jobs = engine_bench_jobs(args.pairs, args.seed)
+
+    def best_seconds() -> float:
+        engine = get_engine("batched")
+        best = None
+        for _ in range(max(1, args.repeats)):
+            batch = engine.align_batch(jobs)
+            if best is None or batch.elapsed_seconds < best:
+                best = batch.elapsed_seconds
+        return float(best)
+
+    obs_mod.reset()
+    engine = get_engine("batched")
+    engine.align_batch(jobs)  # warm-up outside both measured modes
+    baseline = best_seconds()
+    obs_mod.configure(tracing=True, flight_recorder=True)
+    try:
+        enabled = best_seconds()
+    finally:
+        obs_mod.reset()
+    overhead = (enabled - baseline) / baseline if baseline > 0 else 0.0
+    print(
+        f"disabled: {baseline:.4f}s  enabled: {enabled:.4f}s  "
+        f"overhead: {100 * overhead:+.2f}%  (budget {100 * args.budget:.1f}%)"
+    )
+    if args.check and overhead > args.budget:
+        print("overhead budget exceeded", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

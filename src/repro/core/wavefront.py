@@ -50,6 +50,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.runtime import emit_kernel_batch
 from .encoding import WILDCARD_CODE
 from .result import ExtensionResult
 from .scoring import ScoringScheme
@@ -542,28 +543,32 @@ def wavefront_extend_batch(
             results[idx] = xdrop_extend_reference(q, t, scoring, xdrop, trace)
         else:
             live.append(idx)
-    if not live:
-        return results  # type: ignore[return-value]
+    if live:
+        problem = _Problem([pairs[i] for i in live])
+        all_rows = np.arange(len(live), dtype=np.int64)
+        sol = _solve(problem, all_rows, problem.total.copy(), xdrop, True)
+        # Pairs whose band empties early get their truncated answer directly
+        # from the interval log; everything shallower is already identical.
+        _resolve_capped(sol, len(live))
 
-    problem = _Problem([pairs[i] for i in live])
-    all_rows = np.arange(len(live), dtype=np.int64)
-    sol = _solve(problem, all_rows, problem.total.copy(), xdrop, True)
-    # Pairs whose band empties early get their truncated answer directly
-    # from the interval log; everything shallower is already identical.
-    _resolve_capped(sol, len(live))
-
-    for pos, idx in enumerate(live):
-        gap = int(sol.first_gap[pos])
-        early = gap >= 0
-        total = int(problem.total[pos])
-        last_depth = gap if early else total
-        results[idx] = ExtensionResult(
-            best_score=int(sol.best_score[pos]),
-            query_end=int(sol.best_i[pos]),
-            target_end=int(sol.best_j[pos]),
-            anti_diagonals=1 + last_depth,
-            cells_computed=max(1, int(sol.cells[pos])),
-            terminated_early=early,
-            band_widths=_trace_widths(sol, pos, min(last_depth, total)) if trace else None,
-        )
-    return results
+        for pos, idx in enumerate(live):
+            gap = int(sol.first_gap[pos])
+            early = gap >= 0
+            total = int(problem.total[pos])
+            last_depth = gap if early else total
+            results[idx] = ExtensionResult(
+                best_score=int(sol.best_score[pos]),
+                query_end=int(sol.best_i[pos]),
+                target_end=int(sol.best_j[pos]),
+                anti_diagonals=1 + last_depth,
+                cells_computed=max(1, int(sol.cells[pos])),
+                terminated_early=early,
+                band_widths=_trace_widths(sol, pos, min(last_depth, total)) if trace else None,
+            )
+    emit_kernel_batch(
+        "wavefront",
+        pairs=len(results),
+        cells=sum(r.cells_computed for r in results),
+        steps=sum(r.anti_diagonals for r in results),
+    )
+    return results  # type: ignore[return-value]

@@ -126,6 +126,15 @@ class BatchKernelStats:
     dtype:
         DP buffer dtype chosen by the overflow guard (``int16``/``int32``/
         ``int64``; ``mixed`` after merging sweeps that chose differently).
+    weighted_rows, weighted_live:
+        Row-weighted accumulators of the per-sweep live fraction:
+        ``weighted_rows`` sums the rows of every sweep that recorded one,
+        ``weighted_live`` sums ``per-sweep live fraction × that sweep's
+        rows``.  Their ratio (:attr:`rows_weighted_live_fraction`) weights
+        each *sweep* by how many extensions it carried, so one tiny batch
+        of very long stragglers — few rows, but many anti-diagonal steps —
+        cannot dominate the merged signal the way it skews the raw
+        row-step ratio.
     """
 
     rows: int = 0
@@ -137,6 +146,8 @@ class BatchKernelStats:
     peak_window: int = 0
     cells: int = 0
     dtype: str = ""
+    weighted_rows: int = 0
+    weighted_live: float = 0.0
 
     @property
     def live_fraction(self) -> float:
@@ -144,6 +155,17 @@ class BatchKernelStats:
         if self.row_steps == 0:
             return 1.0
         return self.active_row_steps / self.row_steps
+
+    @property
+    def rows_weighted_live_fraction(self) -> float:
+        """Per-sweep live fractions averaged with *row* weights.
+
+        Falls back to :attr:`live_fraction` for accumulators that never
+        recorded per-sweep detail (e.g. hand-built in tests).
+        """
+        if self.weighted_rows <= 0:
+            return self.live_fraction
+        return self.weighted_live / self.weighted_rows
 
     @property
     def padding_row_steps(self) -> int:
@@ -159,10 +181,15 @@ class BatchKernelStats:
         grow and amortise per-step overhead further.  The hint is bounded
         to at most double *current* and never drops below half of it (with
         an absolute floor of 8).
+
+        The signal is the *rows-weighted* live fraction: each merged
+        sweep contributes in proportion to how many extensions it carried,
+        so one tiny long-running batch cannot flip the hint for a service
+        that mostly forms large well-behaved batches.
         """
         if current <= 0 or self.row_steps == 0:
             return max(current, 1)
-        fraction = self.live_fraction
+        fraction = self.rows_weighted_live_fraction
         if fraction < 0.5:
             return max(8, current // 2)
         if fraction > 0.85:
@@ -179,6 +206,8 @@ class BatchKernelStats:
         self.tiles += other.tiles
         self.peak_window = max(self.peak_window, other.peak_window)
         self.cells += other.cells
+        self.weighted_rows += other.weighted_rows
+        self.weighted_live += other.weighted_live
         if other.dtype:
             self.dtype = other.dtype if not self.dtype else self.dtype
             if other.dtype != self.dtype:
@@ -193,6 +222,7 @@ class BatchKernelStats:
             "row_steps": self.row_steps,
             "active_row_steps": self.active_row_steps,
             "live_fraction": self.live_fraction,
+            "rows_weighted_live_fraction": self.rows_weighted_live_fraction,
             "compactions": self.compactions,
             "tiles": self.tiles,
             "peak_window": self.peak_window,
@@ -376,6 +406,9 @@ def xdrop_extend_batch(
     if stats is not None:
         stats.rows += batch
         stats.dtype = stats.dtype or np.dtype(dtype).name
+        # Snapshot for the per-sweep rows-weighted live fraction below.
+        sweep_row_steps0 = stats.row_steps
+        sweep_active0 = stats.active_row_steps
 
     for d in range(1, last_diag + 1):
         # Per-row band of anti-diagonal d: matrix bounds clipped by the rows
@@ -568,6 +601,16 @@ def xdrop_extend_batch(
     out_early[row_ids] = early
     if stats is not None:
         stats.cells += int(out_cells.sum())
+        # Per-sweep live fraction, weighted by the rows this sweep carried:
+        # the aggregation signal suggested_batch_size acts on (a tiny batch
+        # contributes little weight regardless of how long it stepped).
+        sweep_row_steps = stats.row_steps - sweep_row_steps0
+        sweep_active = stats.active_row_steps - sweep_active0
+        sweep_fraction = (
+            sweep_active / sweep_row_steps if sweep_row_steps > 0 else 1.0
+        )
+        stats.weighted_rows += batch
+        stats.weighted_live += sweep_fraction * batch
 
     results: list[ExtensionResult] = []
     for k in range(batch):

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.runtime import emit_kernel_batch
 from .encoding import SequenceLike, encode
 from .result import ExtensionResult
 from .scoring import ScoringScheme
@@ -228,4 +229,11 @@ def xdrop_extend_compiled(
                 band_widths=widths[:anti_diagonals].copy() if trace else None,
             )
         )
+    emit_kernel_batch(
+        "compiled",
+        pairs=len(results),
+        cells=sum(r.cells_computed for r in results),
+        steps=sum(r.anti_diagonals for r in results),
+        dtype=np.dtype(dtype).name,
+    )
     return results

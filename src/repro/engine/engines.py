@@ -53,6 +53,11 @@ from ..core.xdrop_compiled import (
 from ..core.xdrop_vectorized import xdrop_extend
 from ..logan.host import prepare_batch
 from ..logan.kernel import empty_extension, execute_tasks_batched
+from ..obs.runtime import (
+    LIVE_FRACTION_BUCKETS,
+    emit_kernel_batch,
+    get_observability,
+)
 from ..perf.parallel import parallel_map
 from ..perf.timers import Timer
 from .base import EngineBatchResult, register_engine
@@ -103,6 +108,68 @@ class _EngineBase:
             self.xdrop if xdrop is None else int(xdrop),
         )
 
+    def align_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring: ScoringScheme | None = None,
+        xdrop: int | None = None,
+    ) -> EngineBatchResult:
+        """Align *jobs*, wrapped in a trace span + per-engine metrics.
+
+        Subclasses implement :meth:`_align_batch`; the telemetry fold here
+        is once per batch, so it stays on unconditionally.
+        """
+        ob = get_observability()
+        with ob.span("engine.align_batch", engine=self.name, jobs=len(jobs)):
+            result = self._align_batch(jobs, scoring=scoring, xdrop=xdrop)
+        self._observe_batch(ob, result, len(jobs))
+        return result
+
+    def _align_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring: ScoringScheme | None = None,
+        xdrop: int | None = None,
+    ) -> EngineBatchResult:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _observe_batch(
+        self, ob, result: EngineBatchResult, jobs: int
+    ) -> None:
+        reg = ob.registry
+        labels = ("engine",)
+        reg.counter(
+            "repro_engine_batches_total", "engine batch calls", labels
+        ).inc(engine=self.name)
+        reg.counter(
+            "repro_engine_jobs_total", "jobs aligned", labels
+        ).inc(jobs, engine=self.name)
+        reg.counter(
+            "repro_engine_seconds_total", "wall seconds in align_batch", labels
+        ).inc(result.elapsed_seconds, engine=self.name)
+        stats = result.extras.get("kernel_stats") if result.extras else None
+        if stats is not None and stats.rows:
+            # Fresh per-call accumulator, so its totals *are* the deltas.
+            emit_kernel_batch(
+                "batched",
+                pairs=stats.rows,
+                cells=stats.cells,
+                steps=stats.row_steps,
+                dtype=stats.dtype or None,
+                ob=ob,
+            )
+            reg.counter(
+                "repro_kernel_compactions_total",
+                "active-row compactions performed",
+                ("kernel",),
+            ).inc(stats.compactions, kernel="batched")
+            reg.histogram(
+                "repro_kernel_live_fraction",
+                "rows-weighted live fraction per batch call",
+                ("kernel",),
+                buckets=LIVE_FRACTION_BUCKETS,
+            ).observe(stats.rows_weighted_live_fraction, kernel="batched")
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(xdrop={self.xdrop})"
 
@@ -112,7 +179,7 @@ class _PerJobEngine(_EngineBase):
 
     kernel = staticmethod(xdrop_extend)
 
-    def align_batch(
+    def _align_batch(
         self,
         jobs: Sequence[AlignmentJob],
         scoring: ScoringScheme | None = None,
@@ -183,7 +250,7 @@ class BatchedEngine(_EngineBase):
         self.compact_threshold = compact_threshold
         self.tile_width = tile_width
 
-    def align_batch(
+    def _align_batch(
         self,
         jobs: Sequence[AlignmentJob],
         scoring: ScoringScheme | None = None,
@@ -251,7 +318,7 @@ class _PairKernelEngine(_EngineBase):
     def _extend_pairs(self, pairs, scoring, xdrop) -> list[ExtensionResult]:
         raise NotImplementedError  # pragma: no cover - abstract
 
-    def align_batch(
+    def _align_batch(
         self,
         jobs: Sequence[AlignmentJob],
         scoring: ScoringScheme | None = None,
@@ -369,7 +436,7 @@ class SeqAnEngine(_EngineBase):
 
     name = "seqan"
 
-    def align_batch(
+    def _align_batch(
         self,
         jobs: Sequence[AlignmentJob],
         scoring: ScoringScheme | None = None,
@@ -434,7 +501,7 @@ class Ksw2Engine(_EngineBase):
             gap_extend=base.gap_extend,
         )
 
-    def align_batch(
+    def _align_batch(
         self,
         jobs: Sequence[AlignmentJob],
         scoring: ScoringScheme | None = None,
@@ -522,7 +589,7 @@ class LoganEngine(_EngineBase):
             engine=execution,
         )
 
-    def align_batch(
+    def _align_batch(
         self,
         jobs: Sequence[AlignmentJob],
         scoring: ScoringScheme | None = None,

@@ -1,0 +1,91 @@
+"""Unified telemetry subsystem: metrics, tracing, and a flight recorder.
+
+``repro.obs`` is the single observability surface of the library — the
+pipeline the ROADMAP's ops-grade-stats and telemetry-loop items build on:
+
+* :mod:`repro.obs.metrics` — labelled counters / gauges / fixed-bucket
+  histograms behind a thread-safe :class:`MetricsRegistry`, snapshotted
+  into immutable :class:`MetricsSnapshot` objects.
+* :mod:`repro.obs.tracing` — lightweight structured spans with per-thread
+  context propagation; a disabled :class:`Tracer` hands out one shared
+  no-op span, so hot paths pay ~nothing.
+* :mod:`repro.obs.recorder` — a :class:`FlightRecorder` ring buffer of
+  recent spans, events and metric deltas, dumped to JSON on worker crash
+  or on demand (and into conformance failure reports).
+* :mod:`repro.obs.export` — JSON-lines and Prometheus text exporters,
+  driven per interval or on demand (``repro-service serve
+  --metrics-out``).
+* :mod:`repro.obs.provenance` — config hash / seed / git SHA stamped onto
+  every export, per the benchmark-reproducibility checklist.
+* :mod:`repro.obs.runtime` — the process-global bundle and the
+  :func:`configure` switch.
+
+Quick tour::
+
+    import repro.obs as obs
+
+    obs.configure(tracing=True, flight_recorder=True)
+    ob = obs.get_observability()
+    requests = ob.counter("myapp_requests_total", "requests served")
+    with ob.span("handle", route="/align"):
+        requests.inc()
+    print(obs.render_prometheus(ob.registry.snapshot()))
+"""
+
+from .export import IntervalExporter, read_jsonl, render_prometheus, write_jsonl
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SeriesSample,
+    diff_counters,
+)
+from .provenance import build_provenance, config_hash, git_sha
+from .recorder import FlightRecorder
+from .runtime import (
+    LIVE_FRACTION_BUCKETS,
+    Observability,
+    configure,
+    emit_kernel_batch,
+    get_observability,
+    reset,
+)
+from .tracing import NULL_SPAN, Span, SpanCollector, Tracer
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SeriesSample",
+    "DEFAULT_BUCKETS",
+    "diff_counters",
+    # tracing
+    "Span",
+    "SpanCollector",
+    "Tracer",
+    "NULL_SPAN",
+    # recorder
+    "FlightRecorder",
+    # export
+    "IntervalExporter",
+    "render_prometheus",
+    "write_jsonl",
+    "read_jsonl",
+    # provenance
+    "build_provenance",
+    "config_hash",
+    "git_sha",
+    # runtime
+    "Observability",
+    "configure",
+    "get_observability",
+    "reset",
+    "emit_kernel_batch",
+    "LIVE_FRACTION_BUCKETS",
+]

@@ -1,0 +1,193 @@
+"""Snapshot exporters: JSON-lines files and Prometheus text.
+
+Two wire formats cover the ops surface the ROADMAP asks for:
+
+* **JSON lines** — one :class:`~repro.obs.metrics.MetricsSnapshot` per
+  line, appended per interval.  Machine-diffable, trivially parsed back
+  (:func:`read_jsonl`), what ``repro-service serve --metrics-out`` writes.
+* **Prometheus text exposition** — the de-facto scrape format, rendered
+  from any snapshot by :func:`render_prometheus` (counters as ``_total``,
+  histograms as cumulative ``_bucket``/``_sum``/``_count``).
+
+:class:`IntervalExporter` drives either on a timer for long-running
+services, or manually (``export_now``) from drain-driven CLI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from .metrics import MetricsRegistry, MetricsSnapshot
+
+__all__ = [
+    "render_prometheus",
+    "write_jsonl",
+    "read_jsonl",
+    "IntervalExporter",
+]
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_prom_escape(str(value))}"' for name, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render *snapshot* in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_help: set[str] = set()
+    for sample in snapshot.series:
+        if sample.name not in seen_help:
+            seen_help.add(sample.name)
+            if sample.help:
+                lines.append(f"# HELP {sample.name} {_prom_escape(sample.help)}")
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+        if sample.kind == "histogram" and sample.histogram is not None:
+            hist = sample.histogram
+            cumulative = 0
+            for bound, count in zip(hist["buckets"], hist["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{sample.name}_bucket"
+                    f"{_prom_labels(sample.labels, {'le': repr(float(bound))})}"
+                    f" {cumulative}"
+                )
+            cumulative += hist["counts"][-1]
+            lines.append(
+                f"{sample.name}_bucket{_prom_labels(sample.labels, {'le': '+Inf'})}"
+                f" {cumulative}"
+            )
+            lines.append(
+                f"{sample.name}_sum{_prom_labels(sample.labels)} {hist['sum']}"
+            )
+            lines.append(
+                f"{sample.name}_count{_prom_labels(sample.labels)} {hist['count']}"
+            )
+        else:
+            suffix = (
+                "_total"
+                if sample.kind == "counter" and not sample.name.endswith("_total")
+                else ""
+            )
+            lines.append(
+                f"{sample.name}{suffix}{_prom_labels(sample.labels)} {sample.value}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(path: str | Path, snapshot: MetricsSnapshot) -> None:
+    """Append one snapshot as a single JSON line."""
+    with open(path, "a") as handle:
+        handle.write(snapshot.to_json() + "\n")
+
+
+def read_jsonl(path: str | Path) -> list[MetricsSnapshot]:
+    """Parse every snapshot back out of a JSON-lines metrics file."""
+    snapshots: list[MetricsSnapshot] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            snapshots.append(MetricsSnapshot.from_dict(json.loads(line)))
+    return snapshots
+
+
+class IntervalExporter:
+    """Exports registry snapshots per interval (or on demand).
+
+    Parameters
+    ----------
+    registry:
+        The registry to snapshot.
+    path:
+        Output file.  ``jsonl`` appends a snapshot per line; ``prom``
+        rewrites the file with the latest exposition each time.
+    fmt:
+        ``"jsonl"`` (default) or ``"prom"``.
+    interval:
+        Seconds between exports when started as a background thread
+        (:meth:`start`); ``export_now`` works regardless.
+    provenance:
+        Dict stamped onto every exported snapshot.
+    on_export:
+        Optional hook called with each snapshot (the service uses it to
+        feed the flight recorder's delta ring).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str | Path,
+        fmt: str = "jsonl",
+        interval: float = 1.0,
+        provenance: Mapping[str, Any] | None = None,
+        on_export: Callable[[MetricsSnapshot], None] | None = None,
+    ) -> None:
+        if fmt not in ("jsonl", "prom"):
+            raise ValueError(f"fmt must be 'jsonl' or 'prom', got {fmt!r}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.registry = registry
+        self.path = Path(path)
+        self.fmt = fmt
+        self.interval = float(interval)
+        self.provenance = dict(provenance or {})
+        self.on_export = on_export
+        self.exports = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def export_now(self) -> MetricsSnapshot:
+        """Take and write one snapshot immediately."""
+        snapshot = self.registry.snapshot(provenance=self.provenance)
+        if self.fmt == "jsonl":
+            write_jsonl(self.path, snapshot)
+        else:
+            self.path.write_text(render_prometheus(snapshot))
+        self.exports += 1
+        if self.on_export is not None:
+            self.on_export(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "IntervalExporter":
+        """Begin periodic exports on a daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="metrics-exporter", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.export_now()
+
+    def stop(self, final_export: bool = True) -> None:
+        """Stop the thread; by default write one last snapshot."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_export:
+            self.export_now()
+
+    def __enter__(self) -> "IntervalExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop(final_export=exc_info[0] is None)

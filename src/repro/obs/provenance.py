@@ -1,0 +1,80 @@
+"""Run provenance: config hash, seed, git SHA stamped onto every export.
+
+Follows the benchmark-reproducibility checklist (SNIPPETS.md snippet 2):
+an exported series is only reproducible when it records what produced it —
+the configuration (hashed canonically), the workload seed, and the harness
+git SHA.  Everything here degrades gracefully: outside a git checkout the
+SHA is ``None``, never an exception.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+from functools import lru_cache
+from typing import Any, Mapping
+
+__all__ = ["git_sha", "config_hash", "build_provenance"]
+
+
+@lru_cache(maxsize=1)
+def git_sha() -> str | None:
+    """The repository HEAD SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce *obj* to JSON-serialisable canonical form for hashing."""
+    if hasattr(obj, "to_dict"):
+        return obj.to_dict()
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+def config_hash(config: Any) -> str | None:
+    """Short stable digest of a configuration object.
+
+    Accepts anything with ``to_dict()`` (e.g. :class:`repro.api.AlignConfig`),
+    a plain mapping, or ``None`` (returns ``None``).
+    """
+    if config is None:
+        return None
+    payload = json.dumps(_canonical(config), sort_keys=True, default=str)
+    return hashlib.sha1(payload.encode()).hexdigest()[:12]
+
+
+def build_provenance(
+    config: Any = None,
+    seed: int | None = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """The provenance dict stamped onto snapshots and flight-recorder dumps."""
+    import numpy as np
+
+    payload: dict[str, Any] = {
+        "git_sha": git_sha(),
+        "config_hash": config_hash(config),
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+    payload.update(extra)
+    return payload

@@ -1,0 +1,140 @@
+"""Flight recorder: a bounded ring of recent spans, events and deltas.
+
+Production services rarely need the full telemetry stream — they need the
+*last few seconds* of it, at the moment something crashed.  The recorder
+keeps a fixed-size ring of recent trace spans, discrete events (worker
+crashes, backpressure trips, forced dumps) and per-interval metric deltas;
+:meth:`FlightRecorder.dump` freezes the ring into a JSON document stamped
+with provenance, written on worker crash, on demand, or by the
+conformance harness into its failure reports.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Mapping
+
+from .metrics import MetricsRegistry, MetricsSnapshot, diff_counters
+from .provenance import build_provenance
+from .tracing import Span
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent observability signal.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained entries *per ring* (spans / events / deltas each
+        keep their own ring so a chatty tracer cannot evict crash events).
+    registry:
+        Optional registry whose counter deltas :meth:`tick` records.
+    """
+
+    def __init__(
+        self, capacity: int = 256, registry: MetricsRegistry | None = None
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._spans: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._events: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._deltas: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        self._last_snapshot: MetricsSnapshot | None = None
+        self.dumps = 0
+
+    # ------------------------------------------------------------------ #
+    # Feeding side.
+    def record_span(self, span: Span) -> None:
+        """Tracer sink: retain one finished span."""
+        payload = span.to_dict()
+        with self._lock:
+            self._spans.append(payload)
+
+    def record_event(self, kind: str, **payload: Any) -> None:
+        """Retain one discrete event (crash, backpressure, dump trigger)."""
+        entry = {"kind": kind, "time": time.time(), **payload}
+        with self._lock:
+            self._events.append(entry)
+
+    def tick(self, snapshot: MetricsSnapshot | None = None) -> None:
+        """Record the metric deltas since the previous tick.
+
+        Pass a snapshot, or let the recorder take one from its registry.
+        """
+        if snapshot is None:
+            if self.registry is None:
+                return
+            snapshot = self.registry.snapshot()
+        with self._lock:
+            previous = self._last_snapshot
+            self._last_snapshot = snapshot
+        if previous is not None:
+            deltas = diff_counters(previous, snapshot)
+            if deltas:
+                with self._lock:
+                    self._deltas.append(
+                        {"time": snapshot.captured_at, "deltas": deltas}
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Dump side.
+    def dump(
+        self,
+        path: str | Path | None = None,
+        reason: str = "on_demand",
+        provenance: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Freeze the rings into a JSON-ready document (and write *path*).
+
+        The document is self-describing: reason, provenance, the retained
+        spans/events/deltas, and — when the recorder watches a registry —
+        a final full metrics snapshot.
+        """
+        with self._lock:
+            spans = list(self._spans)
+            events = list(self._events)
+            deltas = list(self._deltas)
+            self.dumps += 1
+        final = self.registry.snapshot().to_dict() if self.registry else None
+        document = {
+            "kind": "flight_recorder_dump",
+            "reason": reason,
+            "captured_at": time.time(),
+            "provenance": dict(provenance) if provenance else build_provenance(),
+            "capacity": self.capacity,
+            "spans": spans,
+            "events": events,
+            "metric_deltas": deltas,
+            "metrics": final,
+        }
+        if path is not None:
+            Path(path).write_text(json.dumps(document, indent=2, default=str))
+        return document
+
+    def clear(self) -> None:
+        """Drop everything retained (dump counter is preserved)."""
+        with self._lock:
+            self._spans.clear()
+            self._events.clear()
+            self._deltas.clear()
+            self._last_snapshot = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def span_count(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def event_count(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -1,0 +1,190 @@
+"""Process-wide observability runtime: one bundle, one switch.
+
+Library code never imports concrete instruments from each other's modules;
+it asks for the ambient :class:`Observability` bundle::
+
+    from repro import obs
+    ob = obs.get_observability()
+    ob.counter("repro_kernel_sweeps_total").inc()
+    with ob.tracer.span("kernel.sweep", rows=128):
+        ...
+
+The bundle has two cost tiers:
+
+* The **metrics registry is always live** — counter increments are a
+  locked float add, the same price as the hand-rolled counters they
+  replaced, so nothing needs gating.
+* **Tracing, the flight recorder and per-sweep kernel telemetry are
+  opt-in** via :func:`configure` (or per-component handles).  Disabled,
+  ``tracer.span()`` returns a shared no-op and ``ob.enabled`` short-
+  circuits the deeper emission, keeping the hot paths at their
+  pre-observability cost and results bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .recorder import FlightRecorder
+from .tracing import Tracer
+
+__all__ = [
+    "Observability",
+    "get_observability",
+    "configure",
+    "reset",
+    "emit_kernel_batch",
+    "LIVE_FRACTION_BUCKETS",
+]
+
+#: Buckets of the kernel live-fraction histogram (a 0..1 ratio).
+LIVE_FRACTION_BUCKETS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+class Observability:
+    """One subsystem's bundle of registry + tracer + flight recorder.
+
+    The process-global bundle (:func:`get_observability`) carries the
+    library-wide telemetry; an :class:`~repro.service.AlignmentService`
+    derives a *scoped* bundle with a private registry so two services
+    never mix their counters, while sharing the global tracer and
+    recorder (one trace tree, one crash ring per process).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.recorder = recorder
+        if recorder is not None:
+            self.tracer.add_sink(recorder.record_span)
+
+    @property
+    def enabled(self) -> bool:
+        """True when deep telemetry (tracing / kernel emission) is on."""
+        return self.tracer.enabled
+
+    # Convenience passthroughs so call sites read naturally.
+    def counter(self, name: str, help: str = "", labelnames=()):
+        return self.registry.counter(name, help=help, labelnames=labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()):
+        return self.registry.gauge(name, help=help, labelnames=labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames=(), buckets=None):
+        if buckets is None:
+            return self.registry.histogram(name, help=help, labelnames=labelnames)
+        return self.registry.histogram(
+            name, help=help, labelnames=labelnames, buckets=buckets
+        )
+
+    def span(self, name: str, **attributes: Any):
+        return self.tracer.span(name, **attributes)
+
+    def event(self, kind: str, **payload: Any) -> None:
+        """Record a discrete event on the flight recorder, if attached."""
+        if self.recorder is not None:
+            self.recorder.record_event(kind, **payload)
+
+    def scoped(self, registry: MetricsRegistry | None = None) -> "Observability":
+        """A bundle with its own registry, sharing tracer and recorder."""
+        return Observability(
+            registry=registry if registry is not None else MetricsRegistry(),
+            tracer=self.tracer,
+            recorder=self.recorder,
+        )
+
+
+_lock = threading.Lock()
+_global = Observability()
+
+
+def get_observability() -> Observability:
+    """The ambient process-wide bundle."""
+    return _global
+
+
+def configure(
+    tracing: bool | None = None,
+    flight_recorder: bool | None = None,
+    recorder_capacity: int = 256,
+) -> Observability:
+    """Adjust the global bundle in place (and return it).
+
+    Parameters
+    ----------
+    tracing:
+        Enable/disable span emission (``None`` leaves it unchanged).
+    flight_recorder:
+        Attach (True) or detach (False) the crash ring.  Attaching wires
+        it as a tracer sink and points it at the global registry.
+    recorder_capacity:
+        Ring size used when attaching a recorder.
+    """
+    with _lock:
+        ob = _global
+        if flight_recorder is True and ob.recorder is None:
+            ob.recorder = FlightRecorder(
+                capacity=recorder_capacity, registry=ob.registry
+            )
+            ob.tracer.add_sink(ob.recorder.record_span)
+        elif flight_recorder is False and ob.recorder is not None:
+            ob.tracer.remove_sink(ob.recorder.record_span)
+            ob.recorder = None
+        if tracing is not None:
+            ob.tracer.enabled = bool(tracing)
+    return ob
+
+
+def reset() -> Observability:
+    """Replace the global bundle with a fresh disabled one (tests)."""
+    global _global
+    with _lock:
+        _global = Observability()
+    return _global
+
+
+def emit_kernel_batch(
+    kernel: str,
+    pairs: int,
+    cells: int,
+    steps: int,
+    dtype: str | None = None,
+    ob: Observability | None = None,
+) -> None:
+    """Fold one kernel batch call into the ambient registry.
+
+    Called once per *batch* (not per pair) from the kernel entry points,
+    so the cost — a handful of locked adds — is noise against the sweep
+    it describes and stays unconditionally on.
+    """
+    if ob is None:
+        ob = _global
+    reg = ob.registry
+    labels = ("kernel",)
+    reg.counter(
+        "repro_kernel_batches_total", "kernel batch invocations", labels
+    ).inc(kernel=kernel)
+    reg.counter(
+        "repro_kernel_pairs_total", "extension pairs processed", labels
+    ).inc(pairs, kernel=kernel)
+    reg.counter(
+        "repro_kernel_cells_total", "DP cells computed", labels
+    ).inc(cells, kernel=kernel)
+    reg.counter(
+        "repro_kernel_steps_total", "anti-diagonal / row steps swept", labels
+    ).inc(steps, kernel=kernel)
+    if dtype:
+        reg.counter(
+            "repro_kernel_dtype_total",
+            "batches per selected dtype tier",
+            ("kernel", "dtype"),
+        ).inc(kernel=kernel, dtype=dtype)

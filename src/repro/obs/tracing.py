@@ -1,0 +1,231 @@
+"""Structured tracing: lightweight spans with context propagation.
+
+A :class:`Tracer` hands out context-manager spans::
+
+    with tracer.span("service.dispatch", batch_size=17) as span:
+        ...
+        span.set_attribute("shards", 2)
+
+Spans form trees: the span active on the current thread when a new one
+starts becomes its parent, so one submitted job traces as
+``submit -> batch -> dispatch -> kernel`` without any explicit plumbing.
+Finished spans are pushed to the tracer's *sinks* (the flight recorder, a
+collector list, a JSON-lines file — anything callable).
+
+The tracer is built to cost ~nothing when disabled: ``span()`` then
+returns one shared, stateless no-op object, so a hot path pays a single
+attribute load, a truth test and a no-op ``with`` — no allocation, no id
+generation, no clock read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+def _new_id(bits: int) -> str:
+    """Random hex id; uuid4 keeps clear of the test-suite's pinned PRNGs."""
+    return uuid.uuid4().hex[: bits // 4]
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    start_time: float = 0.0
+    duration: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    error: str | None = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "status": self.status,
+            "error": self.error,
+        }
+
+
+class _NullSpan:
+    """Shared no-op span: the entire disabled-tracing hot path.
+
+    Stateless and reentrant, so one instance serves every thread.  It
+    quacks like a :class:`Span` for the methods instrumented code calls.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+#: The singleton no-op span a disabled tracer hands out.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager recording one live span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        self.span.start_time = time.time()
+        self.span._perf_start = time.perf_counter()  # type: ignore[attr-defined]
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.duration = time.perf_counter() - span._perf_start  # type: ignore[attr-defined]
+        if exc is not None:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+        self._tracer._pop(span)
+        self._tracer._emit(span)
+        return False
+
+
+class Tracer:
+    """Hands out spans; propagates parentage through a per-thread stack.
+
+    Parameters
+    ----------
+    enabled:
+        Start enabled?  A disabled tracer's :meth:`span` returns the
+        shared :data:`NULL_SPAN` — hot paths pay ~nothing.
+    sinks:
+        Callables invoked with each *finished* :class:`Span`.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        sinks: tuple[Callable[[Span], None], ...] = (),
+    ) -> None:
+        self.enabled = bool(enabled)
+        self._sinks: list[Callable[[Span], None]] = list(sinks)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        """Register a finished-span consumer (idempotent)."""
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Span], None]) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _emit(self, span: Span) -> None:
+        for sink in self._sinks:
+            try:
+                sink(span)
+            except Exception:  # pragma: no cover - sink bugs never break work
+                pass
+
+    # ------------------------------------------------------------------ #
+    def current_span(self) -> Span | None:
+        """The innermost live span of this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(self, name: str, **attributes: Any):
+        """A context manager timing one operation under *name*.
+
+        When the tracer is disabled this returns the shared
+        :data:`NULL_SPAN` without allocating anything.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self.current_span()
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent is not None else _new_id(64),
+            span_id=_new_id(32),
+            parent_id=parent.span_id if parent is not None else None,
+            attributes=dict(attributes),
+        )
+        return _SpanContext(self, span)
+
+    def collect(self) -> "SpanCollector":
+        """Attach (and return) a list-backed sink — convenient in tests."""
+        collector = SpanCollector()
+        self.add_sink(collector)
+        return collector
+
+
+class SpanCollector:
+    """Callable sink that keeps every finished span in a list."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.spans: list[Span] = []
+
+    def __call__(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def named(self, name: str) -> list[Span]:
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def __iter__(self) -> Iterator[Span]:
+        with self._lock:
+            return iter(list(self.spans))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+
+__all__.append("SpanCollector")

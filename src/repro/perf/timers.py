@@ -8,6 +8,7 @@ alignment), following the guide's advice to *measure before optimising*.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
@@ -79,6 +80,29 @@ class StageTimer:
         if self.total <= 0:
             return 0.0
         return self.stages.get(name, 0.0) / self.total
+
+    def merge(self, other: "StageTimer") -> "StageTimer":
+        """Fold *other*'s stage times into this timer (and return self).
+
+        Repeated stage names accumulate, matching :meth:`stage`'s own
+        semantics — merging the per-chunk timers of a sharded run yields
+        the same totals a single timer would have recorded.
+        """
+        for name, secs in other.stages.items():
+            self.stages[name] = self.stages.get(name, 0.0) + secs
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready breakdown: per-stage seconds, fractions, and total."""
+        return {
+            "stages": dict(self.stages),
+            "fractions": {name: self.fraction(name) for name in self.stages},
+            "total": self.total,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The :meth:`to_dict` payload serialised as JSON."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
     def report(self) -> str:
         """Human-readable multi-line breakdown, longest stage first."""

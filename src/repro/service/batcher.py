@@ -93,14 +93,37 @@ class _Bin:
     oldest_arrival: float = 0.0
 
 
+#: Occupancy buckets: powers of two up to the default engine batch size x4.
+_OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
 class AdaptiveBatcher:
     """Groups pending tickets into length bins and decides when to flush."""
 
-    def __init__(self, policy: BatchPolicy | None = None) -> None:
+    def __init__(self, policy: BatchPolicy | None = None, obs=None) -> None:
         self.policy = policy or BatchPolicy()
         self._bins: dict[int, _Bin] = {}
         self.batches_formed = 0
         self.flush_reasons: dict[str, int] = {"size": 0, "wait": 0, "drain": 0}
+        self._obs = obs
+        if obs is not None:
+            self._formed_counter = obs.counter(
+                "repro_batches_formed_total",
+                "batches flushed, by flush reason",
+                ("reason",),
+            )
+            self._occupancy_hist = obs.histogram(
+                "repro_batch_occupancy",
+                "jobs per flushed batch",
+                buckets=_OCCUPANCY_BUCKETS,
+            )
+            self._pending_gauge = obs.gauge(
+                "repro_batcher_pending", "tickets waiting in the batcher bins"
+            )
+        else:
+            self._formed_counter = None
+            self._occupancy_hist = None
+            self._pending_gauge = None
 
     @property
     def pending(self) -> int:
@@ -126,6 +149,8 @@ class AdaptiveBatcher:
         bucket.tickets.append(ticket)
         if len(bucket.tickets) >= self.policy.max_batch_size:
             return self._flush_bin(index, "size")
+        if self._pending_gauge is not None:
+            self._pending_gauge.set(self.pending)
         return None
 
     def due(self, now: float) -> list[FormedBatch]:
@@ -162,4 +187,16 @@ class AdaptiveBatcher:
         bucket = self._bins.pop(index)
         self.batches_formed += 1
         self.flush_reasons[reason] += 1
+        if self._formed_counter is not None:
+            self._formed_counter.inc(reason=reason)
+            self._occupancy_hist.observe(len(bucket.tickets))
+            self._pending_gauge.set(self.pending)
+        if self._obs is not None:
+            with self._obs.span(
+                "batcher.flush",
+                reason=reason,
+                size=len(bucket.tickets),
+                length_bin=index,
+            ):
+                pass
         return FormedBatch(tickets=bucket.tickets, length_bin=index, reason=reason)

@@ -87,7 +87,7 @@ class ResultCache:
         turn caching off without branching at every call site.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(self, capacity: int = 4096, obs=None) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self.capacity = int(capacity)
@@ -95,6 +95,22 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        if obs is not None:
+            self._lookup_counter = obs.counter(
+                "repro_cache_lookups_total", "cache lookups, by outcome", ("outcome",)
+            )
+            self._eviction_counter = obs.counter(
+                "repro_cache_evictions_total", "LRU evictions performed"
+            )
+            self._size_gauge = obs.gauge("repro_cache_size", "entries currently cached")
+            self._hit_rate_gauge = obs.gauge(
+                "repro_cache_hit_rate", "fraction of lookups answered from cache"
+            )
+        else:
+            self._lookup_counter = None
+            self._eviction_counter = None
+            self._size_gauge = None
+            self._hit_rate_gauge = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -104,9 +120,12 @@ class ResultCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        else:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        if self._lookup_counter is not None:
+            self._lookup_counter.inc(outcome="miss" if entry is None else "hit")
+            self._hit_rate_gauge.set(self.hits / (self.hits + self.misses))
         return entry
 
     def put(self, key: CacheKey, result: SeedAlignmentResult) -> None:
@@ -119,6 +138,10 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if self._eviction_counter is not None:
+                self._eviction_counter.inc()
+        if self._size_gauge is not None:
+            self._size_gauge.set(len(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -13,6 +13,7 @@ under heavy traffic.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Iterable
 
@@ -44,6 +45,7 @@ class AlignmentTicket:
         self.cache_key = cache_key
         self.cache_hit = False
         self.batch_size = 0
+        self.enqueued_at: float | None = None  # monotonic; set by the queue
         self._event = threading.Event()
         self._result: SeedAlignmentResult | None = None
         self._error: BaseException | None = None
@@ -103,7 +105,7 @@ class SubmissionQueue:
         explicit backpressure contract of the service front door.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024, obs=None) -> None:
         if capacity <= 0:
             raise ServiceError(f"queue capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
@@ -112,6 +114,20 @@ class SubmissionQueue:
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
+        # Optional repro.obs.Observability handle; instruments are created
+        # up front so the series exist in snapshots taken before traffic.
+        self._depth_gauge = (
+            obs.gauge("repro_queue_depth", "tickets waiting in the submission queue")
+            if obs is not None
+            else None
+        )
+        self._wait_hist = (
+            obs.histogram(
+                "repro_queue_wait_seconds", "queue residency per popped ticket"
+            )
+            if obs is not None
+            else None
+        )
 
     @property
     def depth(self) -> int:
@@ -145,7 +161,10 @@ class SubmissionQueue:
                     )
                 if self._closed:
                     raise ServiceError("submission queue is closed")
+            ticket.enqueued_at = time.monotonic()
             self._items.append(ticket)
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._items))
             self._not_empty.notify()
 
     def put_many(
@@ -169,5 +188,12 @@ class SubmissionQueue:
             while self._items and len(taken) < max_items:
                 taken.append(self._items.popleft())
             if taken:
+                if self._depth_gauge is not None:
+                    self._depth_gauge.set(len(self._items))
+                if self._wait_hist is not None:
+                    now = time.monotonic()
+                    for ticket in taken:
+                        if ticket.enqueued_at is not None:
+                            self._wait_hist.observe(now - ticket.enqueued_at)
                 self._not_full.notify_all()
             return taken

@@ -34,6 +34,8 @@ from ..core.scoring import ScoringScheme
 from ..engine import get_engine
 from ..engine.base import AlignmentEngine, engine_from_config
 from ..errors import ServiceError
+from ..obs.provenance import build_provenance
+from ..obs.runtime import get_observability
 from ..perf.metrics import gcups
 from .batcher import AdaptiveBatcher, BatchPolicy, FormedBatch
 from .cache import CacheStats, ResultCache, job_cache_key
@@ -225,25 +227,48 @@ class AlignmentService:
             engine = get_engine(engine, scoring=self.scoring, xdrop=self.xdrop)
         self.engine = engine
         self.policy = policy or BatchPolicy()
-        self.queue = SubmissionQueue(capacity=queue_capacity)
-        self.batcher = AdaptiveBatcher(self.policy)
-        self.cache = ResultCache(capacity=cache_capacity)
+        # Every service gets a private metrics registry (two services never
+        # mix series) sharing the process-wide tracer and flight recorder.
+        # ServiceStats is a *view* over this registry.
+        self.obs = get_observability().scoped()
+        self.queue = SubmissionQueue(capacity=queue_capacity, obs=self.obs)
+        self.batcher = AdaptiveBatcher(self.policy, obs=self.obs)
+        self.cache = ResultCache(capacity=cache_capacity, obs=self.obs)
         self.pool = ShardedWorkerPool(
             engine=self.engine,
             num_workers=num_workers,
             policy=worker_policy,
             xdrop=self.xdrop,
+            obs=self.obs,
         )
         self.submit_timeout = submit_timeout
         self._lock = threading.RLock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._shutdown = False
-        self._submitted = 0
-        self._completed = 0
-        self._cells = 0
-        self._busy_seconds = 0.0
+        self._submitted_c = self.obs.counter(
+            "repro_service_submitted_total", "jobs accepted by submit()"
+        )
+        self._completed_c = self.obs.counter(
+            "repro_service_completed_total", "jobs resolved (cache hits included)"
+        )
+        self._cells_c = self.obs.counter(
+            "repro_service_cells_total", "DP cells aligned by the pool"
+        )
+        self._busy_c = self.obs.counter(
+            "repro_service_busy_seconds_total", "wall seconds inside pool batches"
+        )
+        self._live_fraction_g = self.obs.gauge(
+            "repro_kernel_live_fraction",
+            "rows-weighted live fraction of the batched kernel (accumulated)",
+        )
+        self._suggested_batch_g = self.obs.gauge(
+            "repro_kernel_suggested_batch_size",
+            "batch-size hint derived from kernel compaction telemetry",
+        )
         self._kernel_stats = None  # accumulated BatchKernelStats, if any
+        self.crash_dump_path = None  # optional JSON path for crash dumps
+        self.last_crash_dump: dict | None = None
 
     @classmethod
     def from_config(cls, config) -> "AlignmentService":
@@ -264,22 +289,23 @@ class AlignmentService:
         """
         if self._shutdown:
             raise ServiceError("service has been shut down")
-        key = job_cache_key(job, self.scoring, self.xdrop)
-        ticket = AlignmentTicket(job, cache_key=key)
-        # The cache and counters are shared with the background loop's
-        # _dispatch; all access goes through the service lock.
-        with self._lock:
-            self._submitted += 1
-            cached = self.cache.get(key)
+        with self.obs.span("service.submit", pair_id=job.pair_id):
+            key = job_cache_key(job, self.scoring, self.xdrop)
+            ticket = AlignmentTicket(job, cache_key=key)
+            # The cache and counters are shared with the background loop's
+            # _dispatch; all access goes through the service lock.
+            with self._lock:
+                self._submitted_c.inc()
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self._completed_c.inc()
             if cached is not None:
-                self._completed += 1
-        if cached is not None:
-            ticket.resolve(cached, cache_hit=True)
+                ticket.resolve(cached, cache_hit=True)
+                return ticket
+            if not self.running and self.queue.depth >= self.queue.capacity:
+                self.drain()
+            self.queue.put(ticket, timeout=self.submit_timeout)
             return ticket
-        if not self.running and self.queue.depth >= self.queue.capacity:
-            self.drain()
-        self.queue.put(ticket, timeout=self.submit_timeout)
-        return ticket
 
     def submit_many(self, jobs: Iterable[AlignmentJob]) -> list[AlignmentTicket]:
         """Submit an iterable of jobs, one ticket each."""
@@ -303,17 +329,24 @@ class AlignmentService:
             # Align with the exact parameters the cache key was computed
             # from — an engine instance with different defaults must not
             # poison the content-addressed cache.
-            run = self.pool.run_batch(
-                batch.jobs(), scoring=self.scoring, xdrop=self.xdrop
-            )
-        except Exception as error:  # pragma: no cover - engine failure path
+            with self.obs.span(
+                "service.dispatch",
+                size=batch.size,
+                length_bin=batch.length_bin,
+                reason=batch.reason,
+            ):
+                run = self.pool.run_batch(
+                    batch.jobs(), scoring=self.scoring, xdrop=self.xdrop
+                )
+        except Exception as error:
+            self._record_crash(error, batch)
             for ticket in batch.tickets:
                 ticket.fail(error)
             return
         with self._lock:
-            self._cells += run.summary.cells
-            self._busy_seconds += run.elapsed_seconds
-            self._completed += batch.size
+            self._cells_c.inc(run.summary.cells)
+            self._busy_c.inc(run.elapsed_seconds)
+            self._completed_c.inc(batch.size)
             kernel_stats = run.extras.get("kernel_stats")
             if kernel_stats is not None:
                 # Accumulate compaction telemetry across batches; stats()
@@ -323,10 +356,43 @@ class AlignmentService:
 
                     self._kernel_stats = BatchKernelStats()
                 self._kernel_stats.merge(kernel_stats)
+                self._live_fraction_g.set(
+                    self._kernel_stats.rows_weighted_live_fraction
+                )
+                self._suggested_batch_g.set(
+                    self._kernel_stats.suggested_batch_size(
+                        self.policy.max_batch_size
+                    )
+                )
             for ticket, result in zip(batch.tickets, run.results):
                 self.cache.put(ticket.cache_key, result)
         for ticket, result in zip(batch.tickets, run.results):
             ticket.resolve(result, cache_hit=False, batch_size=batch.size)
+
+    def _record_crash(self, error: BaseException, batch: FormedBatch) -> None:
+        """Feed a worker failure into the flight recorder (when attached).
+
+        The dump lands at :attr:`crash_dump_path` (when set) and is always
+        kept on :attr:`last_crash_dump` so the conformance harness and the
+        CLI can reference it from their failure reports.
+        """
+        self.obs.event(
+            "worker_crash",
+            error=repr(error),
+            batch_size=batch.size,
+            length_bin=batch.length_bin,
+            reason=batch.reason,
+        )
+        if self.obs.recorder is not None:
+            self.last_crash_dump = self.obs.recorder.dump(
+                path=self.crash_dump_path,
+                reason="worker_crash",
+                provenance=self._provenance(),
+            )
+
+    def _provenance(self) -> dict:
+        """Provenance stamped onto exported snapshots and crash dumps."""
+        return build_provenance(config=self.config)
 
     def _pump(self, now: float) -> list[FormedBatch]:
         """Move queued tickets into the batcher; collect full batches."""
@@ -416,20 +482,27 @@ class AlignmentService:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> ServiceStats:
-        """Snapshot of every counter (throughput via :func:`gcups`)."""
+        """Snapshot of every counter (throughput via :func:`gcups`).
+
+        The numbers are read back from the service's private metrics
+        registry — :class:`ServiceStats` is a back-compatible *view* over
+        the same series :meth:`metrics_snapshot` exports.
+        """
         with self._lock:
             kernel_stats = self._kernel_stats
+            cells = int(self._cells_c.value())
+            busy = self._busy_c.value()
             return ServiceStats(
-                submitted=self._submitted,
-                completed=self._completed,
+                submitted=int(self._submitted_c.value()),
+                completed=int(self._completed_c.value()),
                 queue_depth=self.queue.depth,
                 batcher_pending=self.batcher.pending,
                 batches_formed=self.batcher.batches_formed,
                 flush_reasons=dict(self.batcher.flush_reasons),
                 cache=self.cache.stats(),
-                cells=self._cells,
-                busy_seconds=self._busy_seconds,
-                throughput_gcups=gcups(self._cells, self._busy_seconds),
+                cells=cells,
+                busy_seconds=busy,
+                throughput_gcups=gcups(cells, busy),
                 workers=list(self.pool.worker_stats),
                 kernel_live_fraction=(
                     kernel_stats.live_fraction if kernel_stats is not None else None
@@ -440,3 +513,9 @@ class AlignmentService:
                     else None
                 ),
             )
+
+    def metrics_snapshot(self, provenance: dict | None = None):
+        """Provenance-stamped snapshot of the service's metrics registry."""
+        return self.obs.registry.snapshot(
+            provenance=provenance if provenance is not None else self._provenance()
+        )

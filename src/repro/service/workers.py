@@ -76,6 +76,7 @@ class ShardedWorkerPool:
         num_workers: int = 1,
         policy: str = "cells",
         xdrop: int = 100,
+        obs=None,
     ) -> None:
         if num_workers <= 0:
             raise ServiceError(f"num_workers must be positive, got {num_workers}")
@@ -85,6 +86,23 @@ class ShardedWorkerPool:
             num_devices=self.num_workers, policy=policy, xdrop=xdrop
         )
         self.worker_stats = [WorkerStats(worker_index=i) for i in range(self.num_workers)]
+        self._obs = obs
+        if obs is not None:
+            shard = ("shard",)
+            self._shard_batches = obs.counter(
+                "repro_worker_batches_total", "batches run per shard", shard
+            )
+            self._shard_jobs = obs.counter(
+                "repro_worker_jobs_total", "jobs aligned per shard", shard
+            )
+            self._shard_cells = obs.counter(
+                "repro_worker_cells_total", "DP cells aligned per shard", shard
+            )
+            self._shard_seconds = obs.counter(
+                "repro_worker_busy_seconds_total", "wall seconds busy per shard", shard
+            )
+        else:
+            self._shard_batches = None
 
     def run_batch(
         self,
@@ -112,6 +130,15 @@ class ShardedWorkerPool:
             ]
 
             def align(assignment):
+                if self._obs is not None:
+                    with self._obs.span(
+                        "pool.shard",
+                        shard=assignment.device_index,
+                        jobs=assignment.num_jobs,
+                    ):
+                        return self.engine.align_batch(
+                            assignment.take(jobs), scoring=scoring, xdrop=xdrop
+                        )
                 return self.engine.align_batch(
                     assignment.take(jobs), scoring=scoring, xdrop=xdrop
                 )
@@ -133,6 +160,12 @@ class ShardedWorkerPool:
             stats.jobs += assignment.num_jobs
             stats.cells += batch.summary.cells
             stats.seconds += batch.elapsed_seconds
+            if self._shard_batches is not None:
+                shard = str(assignment.device_index)
+                self._shard_batches.inc(shard=shard)
+                self._shard_jobs.inc(assignment.num_jobs, shard=shard)
+                self._shard_cells.inc(batch.summary.cells, shard=shard)
+                self._shard_seconds.inc(batch.elapsed_seconds, shard=shard)
             # Fold per-shard kernel telemetry into one fresh accumulator
             # (never mutate the engine-owned stats object); the service
             # consumes it from the run's extras for batch-sizing hints.

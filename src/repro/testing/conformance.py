@@ -37,6 +37,8 @@ from ..core.result import SeedAlignmentResult
 from ..core.seed_extend import Seed
 from ..engine import describe_engines, get_engine, list_engines
 from ..errors import ConfigurationError
+from ..obs.provenance import build_provenance
+from ..obs.runtime import get_observability
 from ..workloads import Workload
 
 __all__ = [
@@ -118,6 +120,9 @@ class ConformanceFailure:
     workload_seed: int | None = None
     shrunk: bool = False
     minimal_batch: int = 1
+    #: Flight-recorder dump captured at record time (see
+    #: :func:`repro.obs.configure`); ``None`` when the recorder was off.
+    flight_recorder: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation (the CI failure artifact)."""
@@ -137,6 +142,7 @@ class ConformanceFailure:
             "workload_seed": self.workload_seed,
             "shrunk": self.shrunk,
             "minimal_batch": self.minimal_batch,
+            "flight_recorder": self.flight_recorder,
         }
 
     def replay_hint(self) -> str:
@@ -463,7 +469,30 @@ class ConformanceRunner:
                 workload_seed=workload_seed,
                 shrunk=shrunk,
                 minimal_batch=minimal_batch,
+                flight_recorder=self._flight_dump(engine, mismatches),
             )
+        )
+
+    def _flight_dump(
+        self, engine: str, mismatches: list[FieldMismatch]
+    ) -> dict[str, Any] | None:
+        """Snapshot the flight recorder into the failure artifact, if active.
+
+        The ring buffer holds the spans/events/metric deltas leading up to
+        the violation, so the dump answers "what was the system doing right
+        before this failed" without re-running under a debugger.
+        """
+        ob = get_observability()
+        if ob.recorder is None:
+            return None
+        ob.event(
+            "conformance_failure",
+            engine=engine,
+            fields=[m.field for m in mismatches],
+        )
+        return ob.recorder.dump(
+            reason="conformance_failure",
+            provenance=build_provenance(config=self.config),
         )
 
     def _record_count_mismatch(
