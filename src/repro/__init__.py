@@ -95,7 +95,7 @@ from .api import AlignConfig, Aligner, ServiceConfig
 from .engine import describe_engines, get_engine, list_engines, register_engine
 from .service import AlignmentService
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

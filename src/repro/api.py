@@ -70,7 +70,9 @@ __all__ = [
 #: seed is synthesised when :meth:`Aligner.align` is called without one.
 SEED_POLICIES = ("start", "middle")
 
-_WORKER_POLICIES = ("cells", "count")
+_WORKER_POLICIES = ("cells", "count", "batch")
+
+_TRANSPORTS = ("thread", "process")
 
 
 def default_seed(policy: str, query_length: int, target_length: int) -> Seed:
@@ -117,9 +119,22 @@ class ServiceConfig:
     queue_capacity:
         Bound of the submission queue (backpressure limit).
     worker_policy:
-        Load-balancing policy of the pool, ``"cells"`` or ``"count"``.
+        Load-balancing policy of the pool: ``"cells"`` or ``"count"``
+        split every batch across workers; ``"batch"`` (process transport
+        only) ships whole batches round-robin, pipelining consecutive
+        batches across worker processes.
     submit_timeout:
         Seconds ``submit`` may block on a full queue before raising.
+    transport:
+        ``"thread"`` runs worker shards on threads inside the coordinator
+        (the historical behaviour); ``"process"`` spawns worker processes
+        fed through shared memory (``repro.distrib``), taking engine
+        dispatch out of the coordinator's GIL.
+    state_path:
+        Optional path of the durable SQLite store.  When set, submissions
+        and results survive restarts: unfinished jobs are redelivered and
+        completed results answer from disk (WAL mode, content-addressed
+        with the in-memory cache's keys).
     """
 
     num_workers: int = 1
@@ -129,6 +144,8 @@ class ServiceConfig:
     queue_capacity: int = 1024
     worker_policy: str = "cells"
     submit_timeout: float = 5.0
+    transport: str = "thread"
+    state_path: str | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -172,6 +189,23 @@ class ServiceConfig:
             f"must be positive, got {self.submit_timeout}",
         )
         object.__setattr__(self, "submit_timeout", float(self.submit_timeout))
+        _require(
+            self.transport in _TRANSPORTS,
+            "service.transport",
+            f"must be one of {', '.join(_TRANSPORTS)}, got {self.transport!r}",
+        )
+        _require(
+            self.worker_policy != "batch" or self.transport == "process",
+            "service.worker_policy",
+            "'batch' ships whole batches to worker processes and requires "
+            "transport='process'",
+        )
+        if self.state_path is not None:
+            _require(
+                isinstance(self.state_path, str) and bool(self.state_path),
+                "service.state_path",
+                f"must be a non-empty path or None, got {self.state_path!r}",
+            )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation (inverse of :meth:`from_dict`)."""
@@ -549,6 +583,9 @@ _SERVICE_FLAGS = (
     ("max_wait_seconds", "--max-wait", float, "max seconds a job may wait"),
     ("cache_capacity", "--cache-capacity", int, "LRU result-cache entries"),
     ("queue_capacity", "--queue-capacity", int, "submission queue bound"),
+    ("worker_policy", "--worker-policy", str, "shard policy (cells/count/batch)"),
+    ("transport", "--transport", str, "worker transport (thread/process)"),
+    ("state_path", "--state", str, "durable SQLite state file"),
 )
 
 
@@ -616,11 +653,17 @@ def add_config_arguments(
         for name, flag, ftype, help_text in _SERVICE_FLAGS:
             if name in exclude:
                 continue
+            extra = {}
+            if name == "worker_policy":
+                extra["choices"] = list(_WORKER_POLICIES)
+            if name == "transport":
+                extra["choices"] = list(_TRANSPORTS)
             group.add_argument(
                 flag,
                 type=ftype,
                 default=None,
                 help=f"{help_text} (default {getattr(shown.service, name)})",
+                **extra,
             )
 
 

@@ -201,6 +201,7 @@ def run_service_bench(
     workers: int = 1,
     quick: bool = False,
     label: str = "",
+    process_workers: int = 0,
 ) -> BenchEntry:
     """Time the serving layer three ways on one fixed-seed workload.
 
@@ -210,6 +211,15 @@ def run_service_bench(
     plus a cache-served resubmission round recorded in ``extra``).  The
     ``speedup_vs_scalar`` column of the service rows is the speed-up over
     *per-job submission* — the serving layer's own scalar baseline.
+
+    With ``process_workers > 0`` a fourth row, ``service_mp``, times the
+    same workload through the distributed tier: a process-transport
+    service with the ``batch`` dispatch policy (whole formed batches
+    round-robined across worker processes).  Worker spawn happens before
+    the timed round, and a separately-seeded warm-up batch per worker
+    excludes interpreter start-up from the measurement.  Entries with a
+    process row carry ``extra["workload"]`` so they form their own
+    baseline series and never shift the default-series trajectory.
     """
     from ..api import AlignConfig, ServiceConfig
     from ..service import AlignmentService
@@ -260,6 +270,45 @@ def run_service_bench(
     ).to_dict()
     service.shutdown()
 
+    mp_timer = None
+    mp_scores: list[int] = []
+    if process_workers > 0:
+        mp_service = AlignmentService(
+            config=AlignConfig(
+                engine="batched",
+                scoring=scoring,
+                xdrop=xdrop,
+                bin_width=500,
+                service=ServiceConfig(
+                    num_workers=process_workers,
+                    max_batch_size=batch_size,
+                    cache_capacity=4 * len(jobs),
+                    transport="process",
+                    worker_policy="batch",
+                ),
+            )
+        )
+        try:
+            # One warm batch per worker (round-robin dispatch) so spawn
+            # and first-touch costs stay out of the timed round.  Warm
+            # jobs use a different seed so the cache cannot answer the
+            # measured submissions.
+            for round_index in range(process_workers):
+                warm = service_bench_jobs(
+                    max(2, batch_size // 4), seed + 1 + round_index
+                )
+                warm_tickets = mp_service.submit_many(warm)
+                mp_service.drain()
+                for ticket in warm_tickets:
+                    ticket.result(timeout=120.0)
+            mp_timer = Timer()
+            with mp_timer:
+                mp_tickets = mp_service.submit_many(jobs)
+                mp_service.drain()
+                mp_scores = [t.result(timeout=120.0).score for t in mp_tickets]
+        finally:
+            mp_service.shutdown()
+
     cells = direct.summary.cells
 
     def row(name: str, seconds: float, identical: bool) -> BenchResult:
@@ -274,6 +323,41 @@ def run_service_bench(
             cells=cells,
         )
 
+    rows = [
+        row("direct", direct_timer.elapsed, True),
+        row("per_job", per_job_timer.elapsed, per_job_scores == direct.scores()),
+        row("service", service_timer.elapsed, service_scores == direct.scores()),
+        row(
+            "service_resubmit",
+            resubmit_timer.elapsed,
+            resubmit_scores == direct.scores(),
+        ),
+    ]
+    extra = {
+        "service_config": {
+            "batch_size": batch_size,
+            "workers": workers,
+            "bin_width": 500,
+        },
+        "batches_formed": stats.batches_formed,
+        "mean_batch_size": stats.mean_batch_size,
+        "cache_hit_rate": stats.cache.hit_rate,
+        "kernel_live_fraction": stats.kernel_live_fraction,
+        "suggested_batch_size": stats.suggested_batch_size,
+    }
+    if mp_timer is not None:
+        rows.append(
+            row("service_mp", mp_timer.elapsed, mp_scores == direct.scores())
+        )
+        extra["service_config"]["process_workers"] = process_workers
+        # Presence of extra["workload"] changes BenchEntry.signature(), so
+        # process-transport runs start their own baseline series instead
+        # of gating (or loosening) the default thread-transport one.
+        extra["workload"] = {
+            "workers": workers,
+            "process_workers": process_workers,
+            "worker_policy": "batch",
+        }
     entry = BenchEntry(
         kind="service",
         label=label,
@@ -286,28 +370,8 @@ def run_service_bench(
             "gap": scoring.gap,
         },
         quick=quick,
-        rows=[
-            row("direct", direct_timer.elapsed, True),
-            row("per_job", per_job_timer.elapsed, per_job_scores == direct.scores()),
-            row("service", service_timer.elapsed, service_scores == direct.scores()),
-            row(
-                "service_resubmit",
-                resubmit_timer.elapsed,
-                resubmit_scores == direct.scores(),
-            ),
-        ],
-        extra={
-            "service_config": {
-                "batch_size": batch_size,
-                "workers": workers,
-                "bin_width": 500,
-            },
-            "batches_formed": stats.batches_formed,
-            "mean_batch_size": stats.mean_batch_size,
-            "cache_hit_rate": stats.cache.hit_rate,
-            "kernel_live_fraction": stats.kernel_live_fraction,
-            "suggested_batch_size": stats.suggested_batch_size,
-        },
+        rows=rows,
+        extra=extra,
         metrics=metrics,
     )
     return entry

@@ -414,6 +414,22 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
         help="also benchmark the serving layer (BENCH_service.json)",
     )
     parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=1,
+        help="thread workers of the benchmarked service (default 1)",
+    )
+    parser.add_argument(
+        "--process-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --service: also time a process-transport service_mp row "
+            "with N worker processes (0 = skip; starts its own series)"
+        ),
+    )
+    parser.add_argument(
         "--baseline",
         type=str,
         default="BENCH_engines.json",
@@ -547,7 +563,12 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
 
     if args.service:
         service_entry = run_service_bench(
-            xdrop=args.xdrop, seed=args.seed, quick=args.quick, label=args.label
+            xdrop=args.xdrop,
+            seed=args.seed,
+            quick=args.quick,
+            label=args.label,
+            workers=args.service_workers,
+            process_workers=args.process_workers,
         )
         payload["service"] = service_entry.to_dict()
         if not args.json:
@@ -776,6 +797,17 @@ def main_service(argv: Sequence[str] | None = None) -> int:
         help="write a flight-recorder dump to this file after the run "
         "(implies --trace)",
     )
+    serve.add_argument(
+        "--listen",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "run as a network front door instead of a local workload: bind "
+            "this address (port 0 picks a free port), print the bound "
+            "address as a JSON line, and serve until SIGINT/SIGTERM"
+        ),
+    )
     _add_service_arguments(serve, _SERVE_DEFAULTS)
 
     submit = sub.add_parser(
@@ -790,6 +822,16 @@ def main_service(argv: Sequence[str] | None = None) -> int:
     submit.add_argument("--target", type=str, default=None, help="literal target sequence")
     submit.add_argument("--query-fasta", type=str, default=None)
     submit.add_argument("--target-fasta", type=str, default=None)
+    submit.add_argument(
+        "--connect",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "submit to a running 'repro-service serve --listen' server "
+            "instead of a one-shot in-process service"
+        ),
+    )
     _add_service_arguments(submit, _SUBMIT_DEFAULTS)
 
     args = parser.parse_args(argv)
@@ -816,14 +858,74 @@ def _fasta_jobs(
     ]
 
 
+def _parse_endpoint(value: str, flag: str, parser) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` CLI value, tolerating a bare port."""
+    host, _, port_text = value.rpartition(":")
+    if not host:
+        host, port_text = "127.0.0.1", value
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"{flag} expects HOST:PORT, got {value!r}")
+    if not (0 <= port <= 65535):
+        parser.error(f"{flag} port out of range: {port}")
+    return host, port
+
+
+def _serve_network(args, parser, config) -> int:
+    """``repro-service serve --listen``: run the distributed front door."""
+    import os
+
+    from . import obs as obs_mod
+    from .distrib import AlignmentServer
+
+    host, port = _parse_endpoint(args.listen, "--listen", parser)
+    server = AlignmentServer(config=config, host=host, port=port)
+    server.start()
+    ready = {
+        "listening": {"host": server.host, "port": server.port},
+        "pid": os.getpid(),
+        "engine": server.service.engine.name,
+        "transport": server.service.transport,
+    }
+    print(json.dumps(ready), flush=True)
+    # Blocks until SIGINT/SIGTERM or a client 'shutdown' op, then drains
+    # the queue, flushes durable state and joins the workers.
+    server.serve_forever(install_signal_handlers=True)
+    stats = server.service.stats()
+    if args.flight_recorder_out and server.service.obs.recorder is not None:
+        server.service.obs.recorder.dump(
+            path=args.flight_recorder_out,
+            reason="serve_exit",
+            provenance=obs_mod.build_provenance(config=config, seed=args.seed),
+        )
+    payload = {
+        "command": "serve",
+        "mode": "listen",
+        "engine": server.service.engine.name,
+        **stats.to_dict(),
+    }
+    if args.flight_recorder_out:
+        payload["flight_recorder_out"] = args.flight_recorder_out
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>20s}: {value}")
+    return 0
+
+
 def _run_serve(args, parser) -> int:
     from . import obs as obs_mod
+    from .distrib import GracefulShutdown
     from .perf.timers import Timer
     from .service import AlignmentService
 
     config = _service_config_from_args(args, _SERVE_DEFAULTS)
     if args.trace or args.flight_recorder_out:
         obs_mod.configure(tracing=True, flight_recorder=True)
+    if args.listen:
+        return _serve_network(args, parser, config)
     if args.query_fasta and args.target_fasta:
         jobs = _fasta_jobs(
             parser, args.query_fasta, args.target_fasta, config.seed_policy
@@ -857,9 +959,15 @@ def _run_serve(args, parser) -> int:
         if exporter is not None:
             exporter.start()
     timer = Timer()
-    with timer:
+    interrupted = False
+    # SIGINT/SIGTERM between rounds stops submitting and falls through to
+    # the normal drain/flush/shutdown path instead of dying mid-flight.
+    with timer, GracefulShutdown() as stop:
         rounds = []
         for _ in range(max(1, args.repeat)):
+            if stop.requested.is_set():
+                interrupted = True
+                break
             tickets = service.submit_many(jobs)
             service.drain()
             rounds.append([t.result(timeout=60.0).score for t in tickets])
@@ -884,6 +992,7 @@ def _run_serve(args, parser) -> int:
         "wall_seconds": timer.elapsed,
         "mean_score": float(np.mean(rounds[0])) if rounds and rounds[0] else 0.0,
         "rounds_identical": all(r == rounds[0] for r in rounds),
+        "interrupted": interrupted,
         **stats.to_dict(),
     }
     if exporter is not None:
@@ -920,19 +1029,33 @@ def _run_submit(args, parser) -> int:
     else:
         parser.error("submit needs --query/--target or --query-fasta/--target-fasta")
 
-    with AlignmentService(config=config) as service:
-        tickets = service.submit_many(jobs)
-        service.drain()
-        results = [t.result(timeout=60.0) for t in tickets]
+    if args.connect:
+        from .distrib import ServiceClient
+
+        host, port = _parse_endpoint(args.connect, "--connect", parser)
+        with ServiceClient(host, port) as client:
+            identity = client.ping()
+            results, cached = client.submit_detailed(jobs)
+        engine_name = identity.get("engine", "remote")
+    else:
+        cached = None
+        with AlignmentService(config=config) as service:
+            tickets = service.submit_many(jobs)
+            service.drain()
+            results = [t.result(timeout=60.0) for t in tickets]
+        engine_name = service.engine.name
 
     payload = {
         "command": "submit",
-        "engine": service.engine.name,
+        "engine": engine_name,
         "pairs": len(jobs),
         "scores": [r.score for r in results],
         "query_extents": [[r.query_begin, r.query_end] for r in results],
         "target_extents": [[r.target_begin, r.target_end] for r in results],
     }
+    if args.connect:
+        payload["connected"] = args.connect
+        payload["cached"] = cached
     if args.json:
         print(json.dumps(payload, indent=2))
     else:

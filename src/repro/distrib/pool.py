@@ -1,0 +1,425 @@
+"""Multi-process worker pool with shared-memory dispatch and crash recovery.
+
+Drop-in peer of :class:`repro.service.ShardedWorkerPool` (same ``run_batch``
+-> ``PoolRun`` contract, same per-shard metrics), but the shards are spawned
+interpreter processes instead of threads, so engine dispatch runs outside
+the coordinator's GIL.
+
+Dispatch policies:
+
+``"batch"`` (default)
+    Ship the whole formed batch to one worker, round-robin across workers.
+    Batches are the pool's unit of parallelism: consecutive batches pipeline
+    across processes, and no batch pays the efficiency penalty of being
+    split into smaller kernel invocations.  This is the policy the bench
+    records, and the honest reason the process tier beats the thread tier
+    even on one core — the thread pool must split a batch to use two
+    workers, and split batches cost more total kernel time.
+``"cells"`` / ``"count"``
+    Split each batch across all workers with the multi-GPU load balancer,
+    exactly like the thread pool — intra-batch parallelism for multicore
+    hosts.
+
+Crash handling: a worker that dies mid-shard (detected by liveness checks
+while waiting on the result queue) is respawned and the shard — whose
+shared-memory block the coordinator still owns — is redelivered, up to
+``max_redeliveries`` times per shard.  Worker exceptions are *not*
+redelivered (they are deterministic); the reply's traceback and
+flight-recorder dump surface through :class:`~repro.errors.ServiceError`
+and ``last_crash_dump``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..api import AlignConfig
+from ..core.job import AlignmentJob, BatchWorkSummary
+from ..core.result import SeedAlignmentResult
+from ..core.xdrop_batch import BatchKernelStats
+from ..errors import ConfigurationError, ServiceError
+from ..logan.scheduler import LoadBalancer
+from ..perf.timers import Timer
+from ..service.workers import PoolRun, WorkerStats
+from .shm import SharedJobBlock, unpack_results
+from .worker import worker_main
+
+__all__ = ["ProcessWorkerPool"]
+
+_POLL_SECONDS = 0.2
+
+
+@dataclass
+class _Shard:
+    """One dispatched shard: its worker, job slice and shm block."""
+
+    worker_index: int
+    job_indices: list[int]
+    block: SharedJobBlock
+    task: dict
+    redeliveries: int = 0
+
+
+class ProcessWorkerPool:
+    """Spawned-process sharded worker pool.
+
+    Parameters
+    ----------
+    config:
+        The full alignment config; each worker rebuilds its engine from
+        ``config.to_dict()`` in its own interpreter.  Trace mode is
+        rejected — packed result tables carry no band-width traces.
+    num_workers:
+        Number of worker processes.
+    policy:
+        ``"batch"``, ``"cells"`` or ``"count"`` (see module docstring).
+    xdrop:
+        X value for the load balancer's cell estimates (split policies).
+    fault_injection:
+        Test hook: ``{worker_index: {"after": n}}`` makes that worker
+        hard-exit on its *n*-th task.  Consumed on first spawn only, so a
+        respawned worker runs clean.
+    max_redeliveries:
+        How many times one shard may be redelivered after worker deaths
+        before the batch fails.
+    """
+
+    def __init__(
+        self,
+        config: AlignConfig,
+        num_workers: int = 2,
+        policy: str = "batch",
+        xdrop: int = 100,
+        obs=None,
+        fault_injection: dict | None = None,
+        max_redeliveries: int = 2,
+    ) -> None:
+        if num_workers <= 0:
+            raise ServiceError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        if config.trace:
+            raise ConfigurationError(
+                "transport='process' cannot carry band-width traces: packed "
+                "result tables are fixed-width; use transport='thread' for "
+                "trace mode"
+            )
+        if policy not in ("batch", "cells", "count"):
+            raise ConfigurationError(
+                f"process pool policy must be one of 'batch', 'cells', "
+                f"'count', got {policy!r}"
+            )
+        self.config = config
+        self.num_workers = int(num_workers)
+        self.policy = policy
+        self.max_redeliveries = int(max_redeliveries)
+        self.balancer = (
+            None
+            if policy == "batch"
+            else LoadBalancer(
+                num_devices=self.num_workers, policy=policy, xdrop=xdrop
+            )
+        )
+        self.worker_stats = [
+            WorkerStats(worker_index=i) for i in range(self.num_workers)
+        ]
+        self.crashes = 0
+        self.last_crash_dump: dict | None = None
+        self._fault_injection = dict(fault_injection or {})
+        self._ctx = mp.get_context("spawn")
+        self._result_queue = self._ctx.Queue()
+        self._task_queues: list = [None] * self.num_workers
+        self._procs: list = [None] * self.num_workers
+        self._spec = {"config": config.to_dict()}
+        self._seq = 0
+        self._round_robin = 0
+        self._started = False
+        self._closed = False
+
+        self._obs = obs
+        if obs is not None:
+            shard = ("shard",)
+            self._shard_batches = obs.counter(
+                "repro_worker_batches_total", "batches run per shard", shard
+            )
+            self._shard_jobs = obs.counter(
+                "repro_worker_jobs_total", "jobs aligned per shard", shard
+            )
+            self._shard_cells = obs.counter(
+                "repro_worker_cells_total", "DP cells aligned per shard", shard
+            )
+            self._shard_seconds = obs.counter(
+                "repro_worker_busy_seconds_total",
+                "wall seconds busy per shard",
+                shard,
+            )
+            self._crash_c = obs.counter(
+                "repro_worker_crash_total",
+                "worker processes that died and were respawned",
+            )
+        else:
+            self._shard_batches = None
+            self._crash_c = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.num_workers):
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        task_queue = self._ctx.Queue()
+        spec = dict(self._spec)
+        fault = self._fault_injection.pop(index, None)
+        if fault is not None:
+            spec["fault"] = fault
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(index, task_queue, self._result_queue, spec),
+            daemon=True,
+            name=f"repro-worker-{index}",
+        )
+        proc.start()
+        self._task_queues[index] = task_queue
+        self._procs[index] = proc
+
+    def shutdown(self) -> None:
+        """Send sentinels, join workers, drop the queues."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            for task_queue, proc in zip(self._task_queues, self._procs):
+                if proc is not None and proc.is_alive():
+                    try:
+                        task_queue.put(None)
+                    except (OSError, ValueError):
+                        pass
+            for proc in self._procs:
+                if proc is not None:
+                    proc.join(timeout=5.0)
+                    if proc.is_alive():
+                        proc.terminate()
+                        proc.join(timeout=1.0)
+        for task_queue in self._task_queues:
+            if task_queue is not None:
+                task_queue.close()
+                task_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- dispatch ---------------------------------------------------------
+
+    def run_batch(
+        self,
+        jobs: Sequence[AlignmentJob],
+        scoring=None,
+        xdrop: int | None = None,
+    ) -> PoolRun:
+        """Align *jobs* across the worker processes; results in job order."""
+        if self._closed:
+            raise ServiceError("process pool is shut down")
+        jobs = list(jobs)
+        if not jobs:
+            return PoolRun(
+                results=[],
+                summary=BatchWorkSummary(),
+                elapsed_seconds=0.0,
+                shards_used=0,
+            )
+        self.start()
+        timer = Timer()
+        with timer:
+            outstanding = self._dispatch(jobs, scoring, xdrop)
+            finished = self._collect(outstanding)
+        return self._merge(jobs, finished, timer.elapsed)
+
+    def _dispatch(self, jobs, scoring, xdrop) -> dict[int, _Shard]:
+        shards: list[tuple[int, list[int]]] = []
+        if self.policy == "batch":
+            worker = self._round_robin % self.num_workers
+            self._round_robin += 1
+            shards.append((worker, list(range(len(jobs)))))
+        else:
+            for assignment in self.balancer.split(jobs):
+                if assignment.num_jobs > 0:
+                    shards.append(
+                        (assignment.device_index, list(assignment.job_indices))
+                    )
+        outstanding: dict[int, _Shard] = {}
+        for worker_index, indices in shards:
+            block = SharedJobBlock.create([jobs[i] for i in indices])
+            task = {
+                "seq": self._next_seq(),
+                "shm": block.name,
+                "count": len(indices),
+                "scoring": None if scoring is None else scoring.as_tuple(),
+                "xdrop": None if xdrop is None else int(xdrop),
+            }
+            shard = _Shard(
+                worker_index=worker_index,
+                job_indices=indices,
+                block=block,
+                task=task,
+            )
+            outstanding[task["seq"]] = shard
+            self._task_queues[worker_index].put(task)
+        return outstanding
+
+    def _collect(
+        self, outstanding: dict[int, _Shard]
+    ) -> list[tuple[_Shard, dict]]:
+        finished: list[tuple[_Shard, dict]] = []
+        try:
+            while outstanding:
+                try:
+                    reply = self._result_queue.get(timeout=_POLL_SECONDS)
+                except queue_mod.Empty:
+                    self._handle_dead_workers(outstanding)
+                    continue
+                self._absorb_reply(reply, outstanding, finished)
+        except BaseException:
+            for shard in outstanding.values():
+                shard.block.close()
+                shard.block.unlink()
+            raise
+        return finished
+
+    def _absorb_reply(self, reply, outstanding, finished) -> None:
+        seq = reply.get("seq")
+        if not reply.get("ok", False):
+            self.last_crash_dump = reply.get("flight_recorder")
+            detail = reply.get("error", "unknown worker failure")
+            trace = reply.get("traceback")
+            if seq is not None and seq in outstanding:
+                shard = outstanding.pop(seq)
+                shard.block.close()
+                shard.block.unlink()
+            raise ServiceError(
+                f"worker {reply.get('worker')} failed: {detail}"
+                + (f"\n{trace}" if trace else "")
+            )
+        if seq not in outstanding:
+            return  # stale duplicate after a redelivery race
+        shard = outstanding.pop(seq)
+        shard.block.close()
+        shard.block.unlink()
+        finished.append((shard, reply))
+
+    def _handle_dead_workers(self, outstanding: dict[int, _Shard]) -> None:
+        dead = {
+            shard.worker_index
+            for shard in outstanding.values()
+            if not self._procs[shard.worker_index].is_alive()
+        }
+        if not dead:
+            return
+        for worker_index in dead:
+            self.crashes += 1
+            if self._crash_c is not None:
+                self._crash_c.inc()
+            if self._obs is not None:
+                self._obs.event(
+                    "worker_process_died",
+                    worker=worker_index,
+                    exitcode=self._procs[worker_index].exitcode,
+                )
+            self._spawn(worker_index)
+        for seq in [
+            s
+            for s, shard in outstanding.items()
+            if shard.worker_index in dead
+        ]:
+            shard = outstanding.pop(seq)
+            if shard.redeliveries >= self.max_redeliveries:
+                shard.block.close()
+                shard.block.unlink()
+                # Put the rest back so the caller's cleanup still sees them.
+                raise ServiceError(
+                    f"worker {shard.worker_index} died "
+                    f"{shard.redeliveries + 1} times on the same shard "
+                    f"({len(shard.job_indices)} jobs); giving up after "
+                    f"{self.max_redeliveries} redeliveries"
+                )
+            shard.redeliveries += 1
+            shard.task = dict(shard.task, seq=self._next_seq())
+            outstanding[shard.task["seq"]] = shard
+            self._task_queues[shard.worker_index].put(shard.task)
+
+    def _merge(self, jobs, finished, elapsed: float) -> PoolRun:
+        results: list[SeedAlignmentResult | None] = [None] * len(jobs)
+        summary = BatchWorkSummary()
+        kernel_stats: BatchKernelStats | None = None
+        for shard, reply in finished:
+            shard_results = unpack_results(reply["results"])
+            if len(shard_results) != len(shard.job_indices):
+                raise ServiceError(
+                    f"worker {reply['worker']} returned "
+                    f"{len(shard_results)} results for a "
+                    f"{len(shard.job_indices)}-job shard"
+                )
+            for local, job_index in enumerate(shard.job_indices):
+                results[job_index] = shard_results[local]
+            summary = summary.merge(BatchWorkSummary(*reply["summary"]))
+            stats = self.worker_stats[shard.worker_index]
+            stats.batches += 1
+            stats.jobs += len(shard.job_indices)
+            stats.cells += int(reply["summary"][2])
+            stats.seconds += float(reply["elapsed"])
+            if self._shard_batches is not None:
+                label = str(shard.worker_index)
+                self._shard_batches.inc(shard=label)
+                self._shard_jobs.inc(len(shard.job_indices), shard=label)
+                self._shard_cells.inc(int(reply["summary"][2]), shard=label)
+                self._shard_seconds.inc(float(reply["elapsed"]), shard=label)
+            self._merge_counters(reply.get("counters") or ())
+            shard_stats = reply.get("kernel_stats")
+            if shard_stats is not None:
+                if kernel_stats is None:
+                    kernel_stats = BatchKernelStats()
+                kernel_stats.merge(shard_stats)
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise ServiceError(
+                f"{len(missing)} job(s) received no result from the pool"
+            )
+        return PoolRun(
+            results=results,  # type: ignore[arg-type]
+            summary=summary,
+            elapsed_seconds=elapsed,
+            shards_used=len(finished),
+            extras=(
+                {"kernel_stats": kernel_stats}
+                if kernel_stats is not None
+                else {}
+            ),
+        )
+
+    def _merge_counters(self, entries) -> None:
+        """Fold worker-side counter deltas into the coordinator registry."""
+        if self._obs is None:
+            return
+        for entry in entries:
+            labels = dict(entry["labels"])
+            counter = self._obs.counter(
+                entry["name"], entry.get("help", ""), tuple(labels.keys())
+            )
+            counter.inc(float(entry["delta"]), **labels)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq

@@ -1,0 +1,218 @@
+"""Shared-memory job blocks and packed result tables.
+
+Jobs already hold their sequences as contiguous ``uint8`` buffers
+(``core/encoding.py``), so a whole batch can cross the process boundary as
+one shared-memory segment with no per-job pickling: the coordinator packs
+every encoded sequence into a single blob plus an ``int64`` offset table,
+and workers rebuild :class:`AlignmentJob` objects as zero-copy numpy views
+into the mapped buffer (``encode`` on a contiguous uint8 view is a no-op).
+
+Block layout (all little-endian host order)::
+
+    int64[2]          header  = [n_jobs, blob_bytes]
+    int64[n_jobs, 8]  table   = q_off, q_len, t_off, t_len,
+                                seed_q, seed_t, seed_len, pair_id
+    uint8[blob_bytes] blob    = concatenated encoded sequences
+
+Results return as a plain ``(n_jobs, 18)`` int64 table (small enough to
+pickle through the result queue): the six seed-alignment fields followed by
+left/right extension fields.  Band-width traces do not fit a fixed-width
+row, so the process transport refuses trace mode upstream.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.job import AlignmentJob
+from ..core.result import ExtensionResult, SeedAlignmentResult
+from ..core.seed_extend import Seed
+
+__all__ = [
+    "RESULT_COLUMNS",
+    "SharedJobBlock",
+    "attach_jobs",
+    "pack_results",
+    "unpack_results",
+]
+
+_HEADER_ITEMS = 2
+_TABLE_COLUMNS = 8
+
+# score, seed_score, query_begin, query_end, target_begin, target_end,
+# then (best_score, query_end, target_end, anti_diagonals, cells_computed,
+# terminated_early) for the left and right extensions.
+RESULT_COLUMNS = 18
+
+
+class SharedJobBlock:
+    """One batch of jobs packed into a shared-memory segment.
+
+    The coordinator owns the segment lifecycle: :meth:`create` allocates and
+    fills it, :meth:`close` unmaps the local view and :meth:`unlink` frees
+    the segment once the shard's results are back.  Workers only ever
+    :func:`attach_jobs` by name.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, n_jobs: int) -> None:
+        self.shm = shm
+        self.n_jobs = n_jobs
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @classmethod
+    def create(cls, jobs: list[AlignmentJob]) -> "SharedJobBlock":
+        n_jobs = len(jobs)
+        blob_bytes = sum(j.query_length + j.target_length for j in jobs)
+        header_bytes = _HEADER_ITEMS * 8
+        table_bytes = n_jobs * _TABLE_COLUMNS * 8
+        total = max(1, header_bytes + table_bytes + blob_bytes)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+
+        header = np.ndarray(_HEADER_ITEMS, dtype=np.int64, buffer=shm.buf)
+        header[:] = (n_jobs, blob_bytes)
+        table = np.ndarray(
+            (n_jobs, _TABLE_COLUMNS),
+            dtype=np.int64,
+            buffer=shm.buf,
+            offset=header_bytes,
+        )
+        blob = np.ndarray(
+            blob_bytes,
+            dtype=np.uint8,
+            buffer=shm.buf,
+            offset=header_bytes + table_bytes,
+        )
+        cursor = 0
+        for row, job in enumerate(jobs):
+            q_len, t_len = job.query_length, job.target_length
+            table[row] = (
+                cursor,
+                q_len,
+                cursor + q_len,
+                t_len,
+                job.seed.query_pos,
+                job.seed.target_pos,
+                job.seed.length,
+                job.pair_id,
+            )
+            blob[cursor : cursor + q_len] = job.query
+            blob[cursor + q_len : cursor + q_len + t_len] = job.target
+            cursor += q_len + t_len
+        return cls(shm, n_jobs)
+
+    def close(self) -> None:
+        self.shm.close()
+
+    def unlink(self) -> None:
+        self.shm.unlink()
+
+
+def attach_jobs(
+    name: str,
+) -> tuple[shared_memory.SharedMemory, list[AlignmentJob]]:
+    """Attach to a job block by name and rebuild zero-copy jobs.
+
+    The caller (a worker) must keep the returned segment open until it is
+    done with the jobs, then ``close()`` it — the views alias its buffer.
+    The coordinator is the sole owner, so the worker-side attach must not
+    register with the resource tracker (which would unlink the segment when
+    the worker exits).
+    """
+    shm = _attach_untracked(name)
+    header = np.ndarray(_HEADER_ITEMS, dtype=np.int64, buffer=shm.buf)
+    n_jobs = int(header[0])
+    header_bytes = _HEADER_ITEMS * 8
+    table_bytes = n_jobs * _TABLE_COLUMNS * 8
+    table = np.ndarray(
+        (n_jobs, _TABLE_COLUMNS),
+        dtype=np.int64,
+        buffer=shm.buf,
+        offset=header_bytes,
+    )
+    blob = np.ndarray(
+        int(header[1]),
+        dtype=np.uint8,
+        buffer=shm.buf,
+        offset=header_bytes + table_bytes,
+    )
+    jobs: list[AlignmentJob] = []
+    for row in range(n_jobs):
+        q_off, q_len, t_off, t_len, seed_q, seed_t, seed_len, pair_id = (
+            int(v) for v in table[row]
+        )
+        jobs.append(
+            AlignmentJob(
+                query=blob[q_off : q_off + q_len],
+                target=blob[t_off : t_off + t_len],
+                seed=Seed(seed_q, seed_t, seed_len),
+                pair_id=pair_id,
+            )
+        )
+    return shm, jobs
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    try:
+        # Python 3.13+ grew first-class opt-out of the resource tracker.
+        return shared_memory.SharedMemory(name, track=False)
+    except TypeError:
+        # Older interpreters re-register the attach, but spawned workers
+        # share the coordinator's tracker and registration is a set, so
+        # the duplicate is harmless; only the coordinator ever unlinks.
+        # (Unregistering here instead would strip the coordinator's own
+        # entry and make its unlink warn.)
+        return shared_memory.SharedMemory(name)
+
+
+def pack_results(results: list[SeedAlignmentResult]) -> np.ndarray:
+    """Pack results into an ``(n, RESULT_COLUMNS)`` int64 table."""
+    table = np.empty((len(results), RESULT_COLUMNS), dtype=np.int64)
+    for row, res in enumerate(results):
+        table[row, :6] = (
+            res.score,
+            res.seed_score,
+            res.query_begin,
+            res.query_end,
+            res.target_begin,
+            res.target_end,
+        )
+        for side, ext in ((6, res.left), (12, res.right)):
+            table[row, side : side + 6] = (
+                ext.best_score,
+                ext.query_end,
+                ext.target_end,
+                ext.anti_diagonals,
+                ext.cells_computed,
+                int(ext.terminated_early),
+            )
+    return table
+
+
+def unpack_results(table: np.ndarray) -> list[SeedAlignmentResult]:
+    """Inverse of :func:`pack_results`."""
+    table = np.asarray(table, dtype=np.int64).reshape(-1, RESULT_COLUMNS)
+    out: list[SeedAlignmentResult] = []
+    for row in table:
+        values = [int(v) for v in row]
+        left = ExtensionResult(*values[6:11], terminated_early=bool(values[11]))
+        right = ExtensionResult(
+            *values[12:17], terminated_early=bool(values[17])
+        )
+        out.append(
+            SeedAlignmentResult(
+                score=values[0],
+                left=left,
+                right=right,
+                seed_score=values[1],
+                query_begin=values[2],
+                query_end=values[3],
+                target_begin=values[4],
+                target_end=values[5],
+            )
+        )
+    return out

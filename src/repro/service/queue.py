@@ -38,6 +38,9 @@ class AlignmentTicket:
         True when the result was answered from the cache without aligning.
     batch_size:
         Size of the formed batch this job was aligned in (1 for cache hits).
+    durable_id:
+        Row id in the durable SQLite queue when the service persists
+        submissions (``None`` otherwise); completion deletes the row.
     """
 
     def __init__(self, job: AlignmentJob, cache_key: Any = None) -> None:
@@ -45,6 +48,7 @@ class AlignmentTicket:
         self.cache_key = cache_key
         self.cache_hit = False
         self.batch_size = 0
+        self.durable_id: int | None = None
         self.enqueued_at: float | None = None  # monotonic; set by the queue
         self._event = threading.Event()
         self._result: SeedAlignmentResult | None = None

@@ -203,6 +203,8 @@ class AlignmentService:
             queue_capacity = svc.queue_capacity
             worker_policy = svc.worker_policy
             submit_timeout = svc.submit_timeout
+            transport = svc.transport
+            state_path = svc.state_path
         elif (
             engine != "batched"
             or scoring is not None
@@ -220,6 +222,11 @@ class AlignmentService:
                 "deprecated; pass config=repro.api.AlignConfig(...) (or use "
                 "repro.api.Aligner.open_service)",
             )
+        if config is None:
+            # The distributed knobs have no loose-kwarg form: the legacy
+            # surface always means in-process threads with no durability.
+            transport = "thread"
+            state_path = None
         self.config = config
         self.scoring = scoring if scoring is not None else ScoringScheme()
         self.xdrop = int(xdrop)
@@ -234,14 +241,36 @@ class AlignmentService:
         self.queue = SubmissionQueue(capacity=queue_capacity, obs=self.obs)
         self.batcher = AdaptiveBatcher(self.policy, obs=self.obs)
         self.cache = ResultCache(capacity=cache_capacity, obs=self.obs)
-        self.pool = ShardedWorkerPool(
-            engine=self.engine,
-            num_workers=num_workers,
-            policy=worker_policy,
-            xdrop=self.xdrop,
-            obs=self.obs,
-        )
+        self.transport = transport
+        if transport == "process":
+            # Spawned worker processes fed through shared memory; they
+            # rebuild the engine from the config in their own interpreter.
+            from ..distrib.pool import ProcessWorkerPool
+
+            self.pool = ProcessWorkerPool(
+                config,
+                num_workers=num_workers,
+                policy=worker_policy,
+                xdrop=self.xdrop,
+                obs=self.obs,
+            )
+        else:
+            self.pool = ShardedWorkerPool(
+                engine=self.engine,
+                num_workers=num_workers,
+                policy=worker_policy,
+                xdrop=self.xdrop,
+                obs=self.obs,
+            )
         self.submit_timeout = submit_timeout
+        self.store = None
+        self._key_json = None
+        if state_path:
+            from ..distrib.store import DurableStore
+            from ..distrib.wire import cache_key_to_json
+
+            self.store = DurableStore(state_path, obs=self.obs)
+            self._key_json = cache_key_to_json
         self._lock = threading.RLock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -269,11 +298,41 @@ class AlignmentService:
         self._kernel_stats = None  # accumulated BatchKernelStats, if any
         self.crash_dump_path = None  # optional JSON path for crash dumps
         self.last_crash_dump: dict | None = None
+        self._recovered_c = self.obs.counter(
+            "repro_service_recovered_total",
+            "durable jobs re-enqueued at startup (restart recovery)",
+        )
+        self.recovered_tickets: list[AlignmentTicket] = []
+        if self.store is not None:
+            self._recover_durable()
 
     @classmethod
     def from_config(cls, config) -> "AlignmentService":
         """Build a service entirely from an :class:`repro.api.AlignConfig`."""
         return cls(config=config)
+
+    def _recover_durable(self) -> None:
+        """Re-enqueue every unfinished job found in the durable store.
+
+        Jobs the previous process had in flight when it died come back
+        first (the store counts them as redeliveries).  Recovery can
+        exceed the queue bound, so full chunks are drained synchronously
+        in between — by the time the constructor returns, every recovered
+        job is either queued or already aligned and persisted.
+        """
+        from ..distrib.wire import cache_key_from_json
+
+        for record in self.store.recover():
+            ticket = AlignmentTicket(
+                record.job, cache_key=cache_key_from_json(record.cache_key)
+            )
+            ticket.durable_id = record.row_id
+            self._submitted_c.inc()
+            self._recovered_c.inc()
+            if self.queue.depth >= self.queue.capacity:
+                self.drain()
+            self.queue.put(ticket, timeout=self.submit_timeout)
+            self.recovered_tickets.append(ticket)
 
     # ------------------------------------------------------------------ #
     # Submission side.
@@ -302,6 +361,18 @@ class AlignmentService:
             if cached is not None:
                 ticket.resolve(cached, cache_hit=True)
                 return ticket
+            if self.store is not None:
+                key_json = self._key_json(key)
+                durable = self.store.lookup_result(key_json)
+                if durable is not None:
+                    # Restart-surviving hit: warm the in-memory cache so
+                    # repeats stay off the disk path.
+                    with self._lock:
+                        self.cache.put(key, durable)
+                        self._completed_c.inc()
+                    ticket.resolve(durable, cache_hit=True)
+                    return ticket
+                ticket.durable_id = self.store.enqueue(key_json, job)
             if not self.running and self.queue.depth >= self.queue.capacity:
                 self.drain()
             self.queue.put(ticket, timeout=self.submit_timeout)
@@ -325,6 +396,13 @@ class AlignmentService:
     # Processing side.
     def _dispatch(self, batch: FormedBatch) -> None:
         """Run one formed batch on the pool and resolve its tickets."""
+        durable_ids = (
+            [t.durable_id for t in batch.tickets if t.durable_id is not None]
+            if self.store is not None
+            else []
+        )
+        if durable_ids:
+            self.store.mark_inflight(durable_ids)
         try:
             # Align with the exact parameters the cache key was computed
             # from — an engine instance with different defaults must not
@@ -339,10 +417,19 @@ class AlignmentService:
                     batch.jobs(), scoring=self.scoring, xdrop=self.xdrop
                 )
         except Exception as error:
+            if durable_ids:
+                # Back to pending: a restart will redeliver these jobs even
+                # though this process's tickets fail now.
+                self.store.release(durable_ids)
             self._record_crash(error, batch)
             for ticket in batch.tickets:
                 ticket.fail(error)
             return
+        if self.store is not None:
+            self.store.complete(
+                (ticket.durable_id, self._key_json(ticket.cache_key), result)
+                for ticket, result in zip(batch.tickets, run.results)
+            )
         with self._lock:
             self._cells_c.inc(run.summary.cells)
             self._busy_c.inc(run.elapsed_seconds)
@@ -473,6 +560,11 @@ class AlignmentService:
             for batch in self.batcher.flush_all():
                 for ticket in batch.tickets:
                     ticket.fail(ServiceError("service shut down before alignment"))
+        pool_shutdown = getattr(self.pool, "shutdown", None)
+        if pool_shutdown is not None:  # process pools own OS resources
+            pool_shutdown()
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "AlignmentService":
         return self

@@ -208,6 +208,7 @@ class ConformanceReport:
     comparisons: int = 0
     elapsed_seconds: float = 0.0
     service_checked: bool = False
+    network_checked: bool = False
     failures: list[ConformanceFailure] = field(default_factory=list)
 
     @property
@@ -224,6 +225,7 @@ class ConformanceReport:
         self.comparisons += other.comparisons
         self.elapsed_seconds += other.elapsed_seconds
         self.service_checked = self.service_checked or other.service_checked
+        self.network_checked = self.network_checked or other.network_checked
         self.failures.extend(other.failures)
         return self
 
@@ -232,7 +234,8 @@ class ConformanceReport:
         head = (
             f"conformance: {self.jobs} jobs x {len(self.engines)} engines "
             f"({self.comparisons} comparisons"
-            f"{', +service' if self.service_checked else ''}) in "
+            f"{', +service' if self.service_checked else ''}"
+            f"{', +network' if self.network_checked else ''}) in "
             f"{self.elapsed_seconds:.2f}s -> "
             f"{'OK' if self.ok else f'{len(self.failures)} FAILURE(S)'}"
         )
@@ -295,6 +298,14 @@ class ConformanceRunner:
     include_service:
         Also run the :class:`~repro.service.AlignmentService` path and a
         second, cache-served round.
+    include_network:
+        Also replay every batch through a live
+        :class:`~repro.distrib.AlignmentServer` — jobs and results cross a
+        real socket (and, when the config says ``transport="process"``,
+        real worker processes) and must still come back bit-identical.
+        One server is started lazily and reused across ``run_jobs`` calls;
+        use the runner as a context manager (or call :meth:`close`) to
+        shut it down.
     shrink:
         Minimise the first failing case per engine (batch, then sequences).
     max_shrink_evals:
@@ -307,6 +318,7 @@ class ConformanceRunner:
         config=None,
         engines: Sequence[str] | None = None,
         include_service: bool = True,
+        include_network: bool = False,
         shrink: bool = True,
         max_shrink_evals: int = 200,
     ) -> None:
@@ -343,10 +355,24 @@ class ConformanceRunner:
             names = [n for n in registered if rows[n]["available"]]
         self.engine_names = [n.lower() for n in names]
         self.include_service = include_service
+        self.include_network = include_network
         self.shrink = shrink
         self.max_shrink_evals = int(max_shrink_evals)
         self._engines: dict[str, Any] = {}
         self._config_engine: Any = None
+        self._network_server: Any = None
+
+    def close(self) -> None:
+        """Shut down the shared network server (no-op when never started)."""
+        if self._network_server is not None:
+            self._network_server.close(drain=True)
+            self._network_server = None
+
+    def __enter__(self) -> "ConformanceRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def _build(self, name: str):
@@ -432,6 +458,14 @@ class ConformanceRunner:
                     report, "service", jobs, error, profile, workload_seed
                 )
             report.service_checked = True
+        if self.include_network:
+            try:
+                self._check_network(jobs, oracle, report, profile, workload_seed)
+            except Exception as error:
+                self._record_crash(
+                    report, "network", jobs, error, profile, workload_seed
+                )
+            report.network_checked = True
         report.elapsed_seconds = time.perf_counter() - started
         return report
 
@@ -633,6 +667,48 @@ class ConformanceRunner:
                 tickets = service.submit_many(jobs)
                 service.drain()
                 results = [t.result(timeout=60.0) for t in tickets]
+                if self._record_count_mismatch(
+                    report, round_name, jobs, results, profile, workload_seed
+                ):
+                    return
+                for index, (exp, act) in enumerate(zip(direct, results)):
+                    report.comparisons += 1
+                    mismatches = compare_results(exp, act, trace=self.config.trace)
+                    if mismatches:
+                        self._record(
+                            report, round_name, jobs[index], index,
+                            mismatches, profile, workload_seed, None,
+                        )
+                        return
+
+    def _ensure_server(self):
+        """Start (once) and return the shared networked-service server.
+
+        Reusing one server across ``run_jobs`` calls amortises the worker
+        spawn cost over every replayed workload — exactly how a real
+        deployment would serve them.
+        """
+        if self._network_server is None:
+            from ..distrib import AlignmentServer
+
+            self._network_server = AlignmentServer(config=self.config).start()
+        return self._network_server
+
+    def _check_network(self, jobs, oracle, report, profile, workload_seed) -> None:
+        """Networked service must be bit-identical to the direct engine.
+
+        Jobs round-trip through the wire codec and the server's service
+        (worker processes included when the config transport says so); a
+        second round must answer from the server-side cache with the same
+        bytes.
+        """
+        from ..distrib import ServiceClient
+
+        direct = self._config_baseline(jobs, oracle)
+        server = self._ensure_server()
+        with ServiceClient(server.host, server.port) as client:
+            for round_name in ("network", "network-cache"):
+                results = client.submit(jobs)
                 if self._record_count_mismatch(
                     report, round_name, jobs, results, profile, workload_seed
                 ):
