@@ -74,6 +74,8 @@ _WORKER_POLICIES = ("cells", "count", "batch")
 
 _TRANSPORTS = ("thread", "process")
 
+_PREFILTER_MODES = ("off", "advise", "enforce")
+
 
 def default_seed(policy: str, query_length: int, target_length: int) -> Seed:
     """The anchor seed a *policy* synthesises for an unseeded pair.
@@ -135,6 +137,16 @@ class ServiceConfig:
         and results survive restarts: unfinished jobs are redelivered and
         completed results answer from disk (WAL mode, content-addressed
         with the in-memory cache's keys).
+    prefilter:
+        Admission triage mode.  ``"off"`` skips sketching entirely;
+        ``"advise"`` classifies every submission and counts the outcome
+        without changing results; ``"enforce"`` additionally resolves
+        ``reject``-class pairs instantly with the seed-only placeholder
+        result, never dispatching them to an engine.
+    prefilter_options:
+        Keyword overrides for :class:`repro.prefilter.PrefilterPolicy`
+        (``k``, ``metric``, ``reject_distance``, ...).  Validated at
+        config construction whenever the prefilter is on.
     """
 
     num_workers: int = 1
@@ -146,6 +158,8 @@ class ServiceConfig:
     submit_timeout: float = 5.0
     transport: str = "thread"
     state_path: str | None = None
+    prefilter: str = "off"
+    prefilter_options: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def __post_init__(self) -> None:
         _require(
@@ -206,6 +220,33 @@ class ServiceConfig:
                 "service.state_path",
                 f"must be a non-empty path or None, got {self.state_path!r}",
             )
+        _require(
+            self.prefilter in _PREFILTER_MODES,
+            "service.prefilter",
+            f"must be one of {', '.join(_PREFILTER_MODES)}, "
+            f"got {self.prefilter!r}",
+        )
+        _require(
+            isinstance(self.prefilter_options, Mapping)
+            and all(isinstance(k, str) for k in self.prefilter_options),
+            "service.prefilter_options",
+            "must be a mapping with string keys, "
+            f"got {self.prefilter_options!r}",
+        )
+        object.__setattr__(
+            self, "prefilter_options", dict(self.prefilter_options)
+        )
+        if self.prefilter != "off" or self.prefilter_options:
+            # Validate the policy kwargs eagerly so a bad --prefilter-* or
+            # config file fails at construction, naming the config field.
+            from .prefilter import PrefilterPolicy
+
+            try:
+                PrefilterPolicy.from_options(self.prefilter_options)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"service.prefilter_options: {exc}"
+                ) from exc
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation (inverse of :meth:`from_dict`)."""
@@ -586,6 +627,7 @@ _SERVICE_FLAGS = (
     ("worker_policy", "--worker-policy", str, "shard policy (cells/count/batch)"),
     ("transport", "--transport", str, "worker transport (thread/process)"),
     ("state_path", "--state", str, "durable SQLite state file"),
+    ("prefilter", "--prefilter", str, "admission triage (off/advise/enforce)"),
 )
 
 
@@ -658,6 +700,8 @@ def add_config_arguments(
                 extra["choices"] = list(_WORKER_POLICIES)
             if name == "transport":
                 extra["choices"] = list(_TRANSPORTS)
+            if name == "prefilter":
+                extra["choices"] = list(_PREFILTER_MODES)
             group.add_argument(
                 flag,
                 type=ftype,

@@ -38,7 +38,9 @@ def pack_kmers(sequence: SequenceLike, k: int) -> tuple[np.ndarray, np.ndarray]:
 
     Returns ``(codes, positions)`` where ``codes[i]`` is the 2-bit packed
     k-mer starting at ``positions[i]``.  k-mers containing a wildcard (``N``)
-    are skipped.
+    are skipped.  Degenerate inputs — an empty sequence, a sequence shorter
+    than ``k``, or one whose every window holds a wildcard — yield the same
+    well-formed empty ``(uint64, int64)`` pair rather than raising.
 
     Raises
     ------
@@ -47,6 +49,8 @@ def pack_kmers(sequence: SequenceLike, k: int) -> tuple[np.ndarray, np.ndarray]:
     """
     if not 1 <= k <= _MAX_K:
         raise ConfigurationError(f"k must be in [1, {_MAX_K}], got {k}")
+    if len(sequence) == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
     seq = encode(sequence)
     n = len(seq)
     if n < k:

@@ -84,6 +84,10 @@ class BellaResult:
         Modeled alignment-stage time on the aligner's native platform
         (POWER9 for the SeqAn-like kernel, V100(s) for LOGAN), if the
         aligner reports one.
+    prefilter:
+        Admission-triage summary of the optional prefilter stage
+        (``{"mode": ..., "decisions": {outcome: count}}``), ``None``
+        when the stage is off.
     """
 
     overlaps: list[BellaOverlap]
@@ -92,6 +96,7 @@ class BellaResult:
     work: BatchWorkSummary
     timer: StageTimer
     alignment_modeled_seconds: float | None = None
+    prefilter: dict | None = None
 
     @property
     def accepted(self) -> list[BellaOverlap]:
@@ -158,6 +163,18 @@ class BellaPipeline:
         one with ``Aligner(config).open_service()`` to keep them in sync).
         The loose alignment kwargs keep working but are deprecated (they
         warn once per process).
+    prefilter:
+        Admission triage mode of the optional k-mer-sketch stage between
+        seed selection and alignment: ``"off"`` (default), ``"advise"``
+        (classify and count, align everything) or ``"enforce"``
+        (``reject``-class pairs skip the aligner and get the seed-only
+        placeholder result).  When the alignment backend is a *service*
+        that runs its own admission policy, leave this off — the service
+        classifies at submit time.
+    prefilter_policy:
+        A :class:`repro.prefilter.PrefilterPolicy` overriding the default
+        one, which is derived from this pipeline's adaptive threshold
+        (same ``error_rate``/``slack``/``min_overlap``).
     """
 
     def __init__(
@@ -176,9 +193,16 @@ class BellaPipeline:
         xdrop: int = 100,
         service=None,
         config=None,
+        prefilter: str = "off",
+        prefilter_policy=None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError("k must be positive")
+        if prefilter not in ("off", "advise", "enforce"):
+            raise ConfigurationError(
+                "prefilter must be one of off, advise, enforce, "
+                f"got {prefilter!r}"
+            )
         if aligner is not None and engine is not None:
             raise ConfigurationError(
                 "pass either an aligner instance or an engine, not both"
@@ -231,9 +255,29 @@ class BellaPipeline:
             error_rate=error_rate, scoring=self.scoring, min_overlap=min_overlap
         )
         self.config = config
+        self.prefilter = prefilter
+        self._prefilter_policy = prefilter_policy
         self._aligner = aligner
         self._engine = engine
         self._service = service
+
+    @property
+    def prefilter_policy(self):
+        """The admission policy of the prefilter stage.
+
+        Defaults to one calibrated to this pipeline's adaptive threshold,
+        so the provable rejection bounds match what classification would
+        decide anyway.
+        """
+        if self._prefilter_policy is None:
+            from ..prefilter import PrefilterPolicy
+
+            self._prefilter_policy = PrefilterPolicy(
+                error_rate=self.threshold.error_rate,
+                slack=self.threshold.slack,
+                min_overlap=self.threshold.min_overlap,
+            )
+        return self._prefilter_policy
 
     @classmethod
     def from_config(cls, config, **pipeline_options) -> "BellaPipeline":
@@ -298,11 +342,33 @@ class BellaPipeline:
                     sequences, candidates.candidates
                 )
 
+            decisions: list = []
+            prefilter_summary = None
+            if self.prefilter != "off" and jobs:
+                with ob.span("bella.prefilter", jobs=len(jobs)), timer.stage(
+                    "prefilter"
+                ):
+                    policy = self.prefilter_policy
+                    decisions = [
+                        policy.classify(job, self.scoring) for job in jobs
+                    ]
+                    counts = {"reject": 0, "duplicate": 0, "contested": 0}
+                    for decision in decisions:
+                        counts[decision.outcome] += 1
+                    prefilter_summary = {
+                        "mode": self.prefilter,
+                        "decisions": counts,
+                    }
+
             if jobs:
                 with ob.span("bella.alignment", jobs=len(jobs)), timer.stage(
                     "alignment"
                 ):
-                    if self._service is not None:
+                    if self.prefilter == "enforce" and decisions:
+                        results, modeled = self._align_admitted(
+                            jobs, decisions
+                        )
+                    elif self._service is not None:
                         # Service-backed path: per-job submission; the service
                         # batches, caches and shards behind the scenes.
                         results = self._service.map(jobs)
@@ -344,6 +410,15 @@ class BellaPipeline:
         )
         for name, secs in timer.stages.items():
             stage_seconds.inc(secs, stage=name)
+        if prefilter_summary is not None:
+            triage = reg.counter(
+                "repro_bella_prefilter_total",
+                "pipeline admission triage decisions, by outcome",
+                ("outcome",),
+            )
+            for outcome, count in prefilter_summary["decisions"].items():
+                if count:
+                    triage.inc(count, outcome=outcome)
 
         return BellaResult(
             overlaps=overlaps,
@@ -352,7 +427,41 @@ class BellaPipeline:
             work=summarize_results(results),
             timer=timer,
             alignment_modeled_seconds=modeled,
+            prefilter=prefilter_summary,
         )
+
+    def _align_admitted(self, jobs, decisions):
+        """Enforced-prefilter alignment: rejects skip the aligner.
+
+        The admitted subset runs through the normal backend (service or
+        batch aligner); rejected jobs get the deterministic seed-only
+        placeholder, and the two result streams are merged back in job
+        order.
+        """
+        from ..prefilter import rejected_result
+
+        admitted = [
+            job
+            for job, decision in zip(jobs, decisions)
+            if decision.outcome != "reject"
+        ]
+        if self._service is not None:
+            admitted_results = iter(self._service.map(admitted))
+            modeled = None
+        elif admitted:
+            batch = self.aligner.align_batch(admitted)
+            admitted_results = iter(batch.results)
+            modeled = getattr(batch, "modeled_seconds", None)
+        else:
+            admitted_results = iter(())
+            modeled = 0.0
+        results = [
+            rejected_result(job, self.scoring)
+            if decision.outcome == "reject"
+            else next(admitted_results)
+            for job, decision in zip(jobs, decisions)
+        ]
+        return results, modeled
 
     # ------------------------------------------------------------------ #
     def _build_jobs(

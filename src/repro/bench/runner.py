@@ -193,6 +193,54 @@ def run_engine_bench(
     )
 
 
+#: Segments of the admission-triage benchmark workload and the ground
+#: truth of each: ``True`` means the BELLA threshold can never accept the
+#: pair (so rejecting it is correct), per the profile's metadata — the
+#: ``length_skew`` short side is far below ``min_overlap`` and
+#: ``unrelated`` pairs share nothing but the planted seed.  Spurious
+#: candidates dominate real overlap traffic (they are why BELLA prunes
+#: k-mers at all), so the mix is triage-heavy.
+_PREFILTER_SEGMENTS = (
+    ("pacbio", False),
+    ("ont", False),
+    ("length_skew", True),
+    ("unrelated", True),
+    ("unrelated", True),
+    ("unrelated", True),
+)
+
+
+def _prefilter_bench_jobs(
+    pairs: int, seed: int, xdrop: int, scoring: ScoringScheme
+) -> tuple[list[AlignmentJob], list[str]]:
+    """The mixed triage workload: related, skewed and spurious segments.
+
+    Returns the jobs plus the per-job profile label; ground truth comes
+    from :data:`_PREFILTER_SEGMENTS`.  Lengths are production-like
+    (600-1200 bp) so related pairs clear the default ``min_overlap``.
+    """
+    from ..workloads import WorkloadSpec, generate_workload
+
+    per_segment = max(1, pairs // len(_PREFILTER_SEGMENTS))
+    jobs: list[AlignmentJob] = []
+    labels: list[str] = []
+    for offset, (profile, _) in enumerate(_PREFILTER_SEGMENTS):
+        spec = WorkloadSpec(
+            count=per_segment,
+            seed=seed + offset,
+            min_length=600,
+            max_length=1200,
+            xdrop=xdrop,
+            scoring=scoring,
+        )
+        for job in generate_workload(profile, spec).jobs:
+            jobs.append(job)
+            labels.append(profile)
+    for pair_id, job in enumerate(jobs):
+        job.pair_id = pair_id
+    return jobs, labels
+
+
 def run_service_bench(
     pairs: int = 192,
     xdrop: int = 50,
@@ -202,6 +250,8 @@ def run_service_bench(
     quick: bool = False,
     label: str = "",
     process_workers: int = 0,
+    prefilter: str = "off",
+    prefilter_options: dict | None = None,
 ) -> BenchEntry:
     """Time the serving layer three ways on one fixed-seed workload.
 
@@ -220,6 +270,16 @@ def run_service_bench(
     excludes interpreter start-up from the measurement.  Entries with a
     process row carry ``extra["workload"]`` so they form their own
     baseline series and never shift the default-series trajectory.
+
+    With ``prefilter != "off"`` the workload switches to the mixed
+    triage bank (:func:`_prefilter_bench_jobs` — related pacbio/ont
+    segments plus skewed and unrelated spurious-candidate segments with
+    per-job ground truth) and a ``service_prefilter`` row times the same
+    submissions through a service running the admission policy.  The
+    entry's ``extra["prefilter"]`` records the per-outcome decision
+    counts, reject precision/recall against the segment ground truth,
+    the false-rejection count and the speed-up over the no-prefilter
+    service row; such entries also fork their own baseline series.
     """
     from ..api import AlignConfig, ServiceConfig
     from ..service import AlignmentService
@@ -228,7 +288,11 @@ def run_service_bench(
         pairs = min(pairs, 24)
         batch_size = min(batch_size, 8)
     scoring = ScoringScheme()
-    jobs = service_bench_jobs(pairs, seed)
+    labels: list[str] | None = None
+    if prefilter != "off":
+        jobs, labels = _prefilter_bench_jobs(pairs, seed, xdrop, scoring)
+    else:
+        jobs = service_bench_jobs(pairs, seed)
     engine = get_engine("batched", scoring=scoring, xdrop=xdrop)
 
     direct_timer = Timer()
@@ -309,6 +373,36 @@ def run_service_bench(
         finally:
             mp_service.shutdown()
 
+    pf_timer = None
+    pf_results: list = []
+    pf_tickets: list = []
+    pf_stats = None
+    if prefilter != "off":
+        pf_service = AlignmentService(
+            config=AlignConfig(
+                engine="batched",
+                scoring=scoring,
+                xdrop=xdrop,
+                bin_width=500,
+                service=ServiceConfig(
+                    num_workers=workers,
+                    max_batch_size=batch_size,
+                    cache_capacity=4 * len(jobs),
+                    prefilter=prefilter,
+                    prefilter_options=dict(prefilter_options or {}),
+                ),
+            )
+        )
+        try:
+            pf_timer = Timer()
+            with pf_timer:
+                pf_tickets = pf_service.submit_many(jobs)
+                pf_service.drain()
+                pf_results = [t.result(timeout=120.0) for t in pf_tickets]
+            pf_stats = pf_service.stats()
+        finally:
+            pf_service.shutdown()
+
     cells = direct.summary.cells
 
     def row(name: str, seconds: float, identical: bool) -> BenchResult:
@@ -358,6 +452,63 @@ def run_service_bench(
             "process_workers": process_workers,
             "worker_policy": "batch",
         }
+    if pf_timer is not None:
+        from ..prefilter import PrefilterPolicy
+
+        policy = PrefilterPolicy.from_options(prefilter_options)
+        threshold = policy.threshold(scoring)
+        truth_reject = [
+            dict(_PREFILTER_SEGMENTS)[lab] for lab in labels
+        ]
+        rejected = [t.prefilter == "reject" for t in pf_tickets]
+        true_rejections = sum(
+            r and t for r, t in zip(rejected, truth_reject)
+        )
+        false_rejections = sum(
+            r and not t for r, t in zip(rejected, truth_reject)
+        )
+        # The row's parity bit: in enforce mode rejected pairs answer the
+        # placeholder by design, so "identical" means every admitted pair
+        # matched the direct score AND every rejection was sound (the
+        # direct result fails the policy's BELLA threshold).
+        sound = all(
+            not threshold.passes(d.score, d.overlap_length)
+            if r
+            else a.score == d.score
+            for r, a, d in zip(rejected, pf_results, direct.results)
+        )
+        rows.append(row("service_prefilter", pf_timer.elapsed, sound))
+        by_label: dict[str, int] = {}
+        for lab, r in zip(labels, rejected):
+            if r:
+                by_label[lab] = by_label.get(lab, 0) + 1
+        extra["prefilter"] = {
+            "mode": prefilter,
+            "policy": policy.to_dict(),
+            "decisions": dict(pf_stats.prefilter_decisions),
+            "rejected_by_label": by_label,
+            "reject_precision": (
+                true_rejections / sum(rejected) if sum(rejected) else 1.0
+            ),
+            "reject_recall": (
+                true_rejections / sum(truth_reject)
+                if sum(truth_reject)
+                else 1.0
+            ),
+            "false_rejections": false_rejections,
+            "speedup_vs_service": (
+                service_timer.elapsed / pf_timer.elapsed
+                if pf_timer.elapsed > 0
+                else float("inf")
+            ),
+            "segments": [name for name, _ in _PREFILTER_SEGMENTS],
+        }
+        # Triage entries measure a different workload than the default
+        # series; extra["workload"] forks the baseline signature so the
+        # perf gate keeps comparing like with like.
+        workload = extra.setdefault("workload", {})
+        workload["prefilter"] = prefilter
+        workload["prefilter_segments"] = len(_PREFILTER_SEGMENTS)
     entry = BenchEntry(
         kind="service",
         label=label,

@@ -278,6 +278,12 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--gpus", type=int, default=None)
     parser.add_argument("--min-overlap", type=int, default=500)
+    parser.add_argument(
+        "--prefilter",
+        choices=["off", "advise", "enforce"],
+        default="off",
+        help="k-mer-sketch admission triage before the alignment stage",
+    )
     parser.add_argument("--json", action="store_true")
     # seed_policy excluded: BELLA derives every seed from shared k-mers.
     add_config_arguments(parser, defaults=_BELLA_DEFAULTS, exclude=("seed_policy",))
@@ -306,6 +312,7 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
         k=args.kmer,
         error_rate=error_rate,
         min_overlap=args.min_overlap,
+        prefilter=args.prefilter,
     )
     result = pipeline.run(reads)
 
@@ -320,6 +327,7 @@ def main_bella(argv: Sequence[str] | None = None) -> int:
         "candidates": result.candidates.num_candidates,
         "aligned": result.num_alignments,
         "accepted": len(result.accepted),
+        "prefilter": result.prefilter,
         "alignment_cells": result.work.cells,
         "alignment_modeled_seconds": result.alignment_modeled_seconds,
         "stage_seconds": dict(result.timer.stages),
@@ -427,6 +435,16 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
         help=(
             "with --service: also time a process-transport service_mp row "
             "with N worker processes (0 = skip; starts its own series)"
+        ),
+    )
+    parser.add_argument(
+        "--prefilter",
+        choices=["off", "advise", "enforce"],
+        default="off",
+        help=(
+            "with --service: run the mixed triage workload and add a "
+            "service_prefilter row under this admission mode, recording "
+            "reject precision/recall vs ground truth (own series)"
         ),
     )
     parser.add_argument(
@@ -569,6 +587,7 @@ def main_bench_perf(argv: Sequence[str] | None = None) -> int:
             label=args.label,
             workers=args.service_workers,
             process_workers=args.process_workers,
+            prefilter=args.prefilter,
         )
         payload["service"] = service_entry.to_dict()
         if not args.json:

@@ -4,8 +4,10 @@ One file holds two tables:
 
 * ``queue`` — submitted-but-unfinished jobs, each row the full wire-encoded
   job plus its canonical cache key.  Rows move ``pending -> inflight`` when
-  dispatched and are deleted on completion; rows still ``inflight`` when the
-  store is reopened are crash leftovers and get redelivered.
+  dispatched and are tombstoned (``state='deleted'``) on completion; rows
+  still ``inflight`` when the store is reopened are crash leftovers and get
+  redelivered.  :meth:`DurableStore.compact` purges the tombstones (and,
+  given a TTL, expired results) so a long-lived store stops growing.
 * ``results`` — completed results keyed by canonical cache-key JSON, i.e. a
   restart-surviving extension of the in-memory ``ResultCache`` with the
   identical content address.
@@ -67,11 +69,26 @@ class DurableStore:
     Thread-safe behind one lock; the service's dispatch thread and submitter
     threads share a single connection (``check_same_thread=False``), which
     WAL mode makes cheap.
+
+    Parameters
+    ----------
+    ttl_seconds:
+        Age bound for durable results, applied whenever :meth:`compact`
+        runs (including the automatic compaction inside :meth:`recover`).
+        ``None`` keeps results forever; queue tombstones are always purged.
     """
 
-    def __init__(self, path: str, obs: Observability | None = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        obs: Observability | None = None,
+        ttl_seconds: float | None = None,
+    ) -> None:
         self.path = str(path)
         self.obs = obs if obs is not None else get_observability()
+        if ttl_seconds is not None and ttl_seconds < 0:
+            raise ValueError(f"ttl_seconds must be non-negative, got {ttl_seconds}")
+        self.ttl_seconds = ttl_seconds
         self._lock = threading.Lock()
         self._closed = False
         try:
@@ -107,6 +124,11 @@ class DurableStore:
         self._pending_g = self.obs.gauge(
             "repro_durable_pending",
             "Queue rows currently pending or in flight.",
+        )
+        self._compacted_c = self.obs.counter(
+            "repro_durable_compacted_total",
+            "Rows purged by compaction, by kind.",
+            labelnames=("kind",),
         )
         self._refresh_pending()
 
@@ -157,7 +179,12 @@ class DurableStore:
     def complete(
         self, finished: Iterable[tuple[int | None, str, SeedAlignmentResult]]
     ) -> None:
-        """Delete finished queue rows and upsert their results."""
+        """Tombstone finished queue rows and upsert their results.
+
+        Rows are marked ``state='deleted'`` rather than removed so a crash
+        between the queue update and the result upsert stays diagnosable;
+        :meth:`compact` reclaims the tombstones.
+        """
         now = time.time()
         rows = list(finished)
         if not rows:
@@ -166,7 +193,9 @@ class DurableStore:
             for row_id, cache_key, result in rows:
                 if row_id is not None:
                     self._conn.execute(
-                        "DELETE FROM queue WHERE id=?", (int(row_id),)
+                        "UPDATE queue SET state='deleted', updated_at=?"
+                        " WHERE id=?",
+                        (now, int(row_id)),
                     )
                 self._conn.execute(
                     "INSERT OR REPLACE INTO results (cache_key, payload,"
@@ -189,11 +218,14 @@ class DurableStore:
         Rows found ``inflight`` were dispatched but never completed — the
         previous process died mid-batch — and count as redeliveries.  Every
         returned row is reset to ``pending`` so a subsequent crash-free run
-        walks the normal dispatch path.
+        walks the normal dispatch path.  Finishes by compacting the store
+        (tombstones plus, when a TTL is configured, expired results) so
+        restart cycles do not accrete dead rows.
         """
         with self._lock:
             rows = self._conn.execute(
                 "SELECT id, cache_key, payload, state, attempts FROM queue"
+                " WHERE state IN ('pending', 'inflight')"
                 " ORDER BY (state='inflight') DESC, id ASC"
             ).fetchall()
             self._conn.execute(
@@ -216,12 +248,44 @@ class DurableStore:
             )
         if redelivered:
             self._redelivered_c.inc(redelivered)
+        self.compact(self.ttl_seconds)
         return records
+
+    def compact(self, ttl_seconds: float | None = None) -> dict[str, int]:
+        """Purge tombstoned queue rows and, given a TTL, expired results.
+
+        ``ttl_seconds`` bounds the age of retained results by their
+        ``completed_at`` stamp; ``None`` leaves the result table alone.
+        After the purges the WAL is checkpointed and the database vacuumed
+        so the file on disk shrinks too.  Returns the purge counts per
+        table, e.g. ``{"queue": 3, "results": 0}``.
+        """
+        if ttl_seconds is not None and ttl_seconds < 0:
+            raise ValueError(f"ttl_seconds must be non-negative, got {ttl_seconds}")
+        with self._lock:
+            queue_purged = self._conn.execute(
+                "DELETE FROM queue WHERE state='deleted'"
+            ).rowcount
+            results_purged = 0
+            if ttl_seconds is not None:
+                results_purged = self._conn.execute(
+                    "DELETE FROM results WHERE completed_at < ?",
+                    (time.time() - ttl_seconds,),
+                ).rowcount
+            self._conn.commit()
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            self._conn.execute("VACUUM")
+        if queue_purged:
+            self._compacted_c.inc(queue_purged, kind="queue")
+        if results_purged:
+            self._compacted_c.inc(results_purged, kind="results")
+        return {"queue": int(queue_purged), "results": int(results_purged)}
 
     def pending_count(self) -> int:
         with self._lock:
             (count,) = self._conn.execute(
                 "SELECT COUNT(*) FROM queue"
+                " WHERE state IN ('pending', 'inflight')"
             ).fetchone()
         return int(count)
 

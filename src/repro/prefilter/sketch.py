@@ -1,0 +1,190 @@
+"""Vectorised k-mer-profile sketches and alignment-free distances.
+
+A :class:`KmerSketch` is the dense k-mer count profile of one sequence —
+every k-mer packed into a 2-bit code by :func:`repro.bella.kmer.pack_kmers`
+and histogrammed over the full ``4**k`` alphabet — plus the order-0 base
+composition the d2star statistic uses as its background model.
+
+Two distances are provided, both from the d2 statistic family the
+alignment-free comparison literature (and the Afann tool) uses:
+
+``d2``
+    Half of one minus the cosine of the raw (L2-normalised) count
+    vectors.  Two unrelated reads share almost no k-mers at k >= 7, so
+    their cosine is near zero and the distance sits near 0.5; reads from
+    one template keep a large shared-k-mer mass and land well below.
+``d2star``
+    The same cosine computed over *centred and standardised* counts:
+    each word count is reduced by its expected count under the
+    sequence's own base composition and scaled by the standard deviation
+    of that expectation.  This corrects for composition bias (two
+    AT-rich but unrelated reads look similar to raw d2, not to d2star).
+
+Both distances live in ``[0, 1]`` with 0 meaning identical profiles.
+Sketches of sequences shorter than ``k`` (or made entirely of wildcards)
+are *empty* — the policy layer treats pairs involving an empty sketch as
+``contested`` rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bella.kmer import pack_kmers
+from ..core.encoding import SequenceLike, encode
+from ..errors import ConfigurationError
+
+__all__ = [
+    "MAX_SKETCH_K",
+    "KmerSketch",
+    "sketch_sequence",
+    "d2_distance",
+    "d2star_distance",
+    "sketch_distance",
+]
+
+#: Dense profiles hold ``4**k`` bins; k = 12 already means 16M floats, so
+#: the sketch layer caps k well below :data:`repro.bella.kmer._MAX_K`.
+MAX_SKETCH_K = 12
+
+
+@dataclass
+class KmerSketch:
+    """Dense k-mer count profile of one sequence.
+
+    Attributes
+    ----------
+    k:
+        k-mer length of the profile.
+    counts:
+        Float count vector of length ``4**k`` (dense histogram of the
+        packed codes).
+    total:
+        Number of counted k-mers (sum of ``counts``); 0 for sequences
+        shorter than ``k`` or made entirely of wildcards.
+    base_freqs:
+        Order-0 background model: the four base frequencies of the
+        sequence (uniform when the sequence has no ACGT bases at all).
+    """
+
+    k: int
+    counts: np.ndarray
+    total: int
+    base_freqs: np.ndarray
+
+    @property
+    def empty(self) -> bool:
+        """True when the sequence yielded no countable k-mer."""
+        return self.total == 0
+
+
+def sketch_sequence(sequence: SequenceLike, k: int = 7) -> KmerSketch:
+    """Build the dense k-mer profile sketch of *sequence*.
+
+    Wildcard-containing k-mers are skipped (the same rule the BELLA
+    k-mer stage applies), so an all-``N`` sequence produces a well-formed
+    empty sketch rather than garbage codes.
+    """
+    if not 1 <= k <= MAX_SKETCH_K:
+        raise ConfigurationError(
+            f"sketch k must be in [1, {MAX_SKETCH_K}], got {k}"
+        )
+    seq = encode(sequence) if len(sequence) else np.empty(0, dtype=np.uint8)
+    codes, _ = pack_kmers(seq, k)
+    counts = np.bincount(
+        codes.astype(np.int64), minlength=4**k
+    ).astype(np.float64)
+    bases = seq[seq < 4]
+    if len(bases):
+        base_freqs = np.bincount(bases, minlength=4).astype(np.float64)
+        base_freqs /= base_freqs.sum()
+    else:
+        base_freqs = np.full(4, 0.25)
+    return KmerSketch(
+        k=int(k), counts=counts, total=int(codes.size), base_freqs=base_freqs
+    )
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    denom = float(np.linalg.norm(a)) * float(np.linalg.norm(b))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(a, b)) / denom
+
+
+def d2_distance(a: KmerSketch, b: KmerSketch) -> float:
+    """d2 distance: ``0.5 * (1 - cosine)`` of the raw count profiles.
+
+    Defined as the maximal distance 1.0 when either sketch is empty —
+    callers that can tell "no signal" from "dissimilar" should check
+    :attr:`KmerSketch.empty` first (the policy layer does).
+    """
+    _check_compatible(a, b)
+    if a.empty or b.empty:
+        return 1.0
+    return 0.5 * (1.0 - _cosine(a.counts, b.counts))
+
+
+def d2star_distance(a: KmerSketch, b: KmerSketch) -> float:
+    """d2star distance: cosine over background-corrected count profiles.
+
+    Each count is centred by its expected value under the sketch's own
+    order-0 base composition and standardised by that expectation's
+    scale: ``x_w = (X_w - N p_w) / sqrt(N p_w)``.  Words whose background
+    probability is zero cannot occur and contribute zero.  When the
+    correction annihilates a profile entirely (a pure homopolymer is
+    *exactly* its background expectation) the statistic carries no
+    signal, so the raw d2 distance is returned instead.
+    """
+    _check_compatible(a, b)
+    if a.empty or b.empty:
+        return 1.0
+    xa = _standardised(a)
+    xb = _standardised(b)
+    if not np.any(xa) or not np.any(xb):
+        return d2_distance(a, b)
+    return 0.5 * (1.0 - _cosine(xa, xb))
+
+
+def _standardised(sketch: KmerSketch) -> np.ndarray:
+    """Centred, standardised count profile of one sketch."""
+    probs = _word_probs(sketch.base_freqs, sketch.k)
+    expected = sketch.total * probs
+    scale = np.sqrt(expected)
+    centred = sketch.counts - expected
+    out = np.zeros_like(centred)
+    np.divide(centred, scale, out=out, where=scale > 0)
+    return out
+
+
+def _word_probs(base_freqs: np.ndarray, k: int) -> np.ndarray:
+    """Probability of every packed word under an order-0 model.
+
+    The outer-product expansion matches the big-endian packing of
+    :func:`repro.bella.kmer.pack_kmers`: code ``c``'s leading base is its
+    highest 2-bit digit.
+    """
+    probs = np.asarray(base_freqs, dtype=np.float64)
+    for _ in range(k - 1):
+        probs = np.multiply.outer(probs, base_freqs).ravel()
+    return probs
+
+
+def sketch_distance(a: KmerSketch, b: KmerSketch, metric: str = "d2") -> float:
+    """Dispatch to the named distance (``"d2"`` or ``"d2star"``)."""
+    if metric == "d2":
+        return d2_distance(a, b)
+    if metric == "d2star":
+        return d2star_distance(a, b)
+    raise ConfigurationError(
+        f"unknown sketch metric {metric!r}; available: d2, d2star"
+    )
+
+
+def _check_compatible(a: KmerSketch, b: KmerSketch) -> None:
+    if a.k != b.k:
+        raise ConfigurationError(
+            f"cannot compare sketches of different k ({a.k} vs {b.k})"
+        )

@@ -131,7 +131,7 @@ class ResultCache:
             self.hits += 1
         if self._lookup_counter is not None:
             self._lookup_counter.inc(outcome="miss" if entry is None else "hit")
-            self._hit_rate_gauge.set(self.hits / (self.hits + self.misses))
+        self.refresh_gauges()
         return entry
 
     def put(self, key: CacheKey, result: SeedAlignmentResult) -> None:
@@ -201,8 +201,21 @@ class ResultCache:
             self._persist_counter.inc(len(entries), direction="load")
         return len(entries)
 
+    def refresh_gauges(self) -> None:
+        """Push the current size and hit rate onto the observability gauges.
+
+        Safe on a fresh cache: with zero lookups the hit rate reports 0.0
+        rather than dividing by zero.
+        """
+        if self._size_gauge is not None:
+            self._size_gauge.set(len(self._entries))
+        if self._hit_rate_gauge is not None:
+            lookups = self.hits + self.misses
+            self._hit_rate_gauge.set(self.hits / lookups if lookups else 0.0)
+
     def stats(self) -> CacheStats:
         """Snapshot of the cache counters."""
+        self.refresh_gauges()
         return CacheStats(
             hits=self.hits,
             misses=self.misses,

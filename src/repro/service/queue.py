@@ -41,6 +41,10 @@ class AlignmentTicket:
     durable_id:
         Row id in the durable SQLite queue when the service persists
         submissions (``None`` otherwise); completion deletes the row.
+    prefilter:
+        Admission triage outcome (``"reject"``/``"duplicate"``/
+        ``"contested"``) when the service runs a prefilter, ``None``
+        otherwise.
     """
 
     def __init__(self, job: AlignmentJob, cache_key: Any = None) -> None:
@@ -48,6 +52,7 @@ class AlignmentTicket:
         self.cache_key = cache_key
         self.cache_hit = False
         self.batch_size = 0
+        self.prefilter: str | None = None
         self.durable_id: int | None = None
         self.enqueued_at: float | None = None  # monotonic; set by the queue
         self._event = threading.Event()

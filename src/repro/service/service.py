@@ -37,6 +37,7 @@ from ..errors import ServiceError
 from ..obs.provenance import build_provenance
 from ..obs.runtime import get_observability
 from ..perf.metrics import gcups
+from ..prefilter import PREFILTER_OUTCOMES
 from .batcher import AdaptiveBatcher, BatchPolicy, FormedBatch
 from .cache import CacheStats, ResultCache, job_cache_key
 from .queue import AlignmentTicket, SubmissionQueue
@@ -73,6 +74,9 @@ class ServiceStats:
         Batch-sizing hint derived from that telemetry: the ``max_batch_size``
         the compaction stats suggest the batcher should target (``None``
         without kernel stats).
+    prefilter_mode, prefilter_decisions:
+        Admission triage mode (``"off"``/``"advise"``/``"enforce"``) and
+        the per-outcome decision counts (empty when the prefilter is off).
     """
 
     submitted: int = 0
@@ -88,6 +92,8 @@ class ServiceStats:
     workers: list[WorkerStats] = field(default_factory=list)
     kernel_live_fraction: float | None = None
     suggested_batch_size: int | None = None
+    prefilter_mode: str = "off"
+    prefilter_decisions: dict = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -126,6 +132,8 @@ class ServiceStats:
             ],
             "kernel_live_fraction": self.kernel_live_fraction,
             "suggested_batch_size": self.suggested_batch_size,
+            "prefilter_mode": self.prefilter_mode,
+            "prefilter_decisions": dict(self.prefilter_decisions),
         }
 
 
@@ -205,6 +213,8 @@ class AlignmentService:
             submit_timeout = svc.submit_timeout
             transport = svc.transport
             state_path = svc.state_path
+            prefilter_mode = svc.prefilter
+            prefilter_options = svc.prefilter_options
         elif (
             engine != "batched"
             or scoring is not None
@@ -224,9 +234,12 @@ class AlignmentService:
             )
         if config is None:
             # The distributed knobs have no loose-kwarg form: the legacy
-            # surface always means in-process threads with no durability.
+            # surface always means in-process threads with no durability
+            # and no admission triage.
             transport = "thread"
             state_path = None
+            prefilter_mode = "off"
+            prefilter_options = {}
         self.config = config
         self.scoring = scoring if scoring is not None else ScoringScheme()
         self.xdrop = int(xdrop)
@@ -263,6 +276,12 @@ class AlignmentService:
                 obs=self.obs,
             )
         self.submit_timeout = submit_timeout
+        self.prefilter_mode = prefilter_mode
+        self.prefilter = None
+        if prefilter_mode != "off":
+            from ..prefilter import PrefilterPolicy
+
+            self.prefilter = PrefilterPolicy.from_options(prefilter_options)
         self.store = None
         self._key_json = None
         if state_path:
@@ -294,6 +313,11 @@ class AlignmentService:
         self._suggested_batch_g = self.obs.gauge(
             "repro_kernel_suggested_batch_size",
             "batch-size hint derived from kernel compaction telemetry",
+        )
+        self._prefilter_c = self.obs.counter(
+            "repro_prefilter_decisions_total",
+            "admission triage decisions, by outcome",
+            labelnames=("outcome",),
         )
         self._kernel_stats = None  # accumulated BatchKernelStats, if any
         self.crash_dump_path = None  # optional JSON path for crash dumps
@@ -351,6 +375,31 @@ class AlignmentService:
         with self.obs.span("service.submit", pair_id=job.pair_id):
             key = job_cache_key(job, self.scoring, self.xdrop)
             ticket = AlignmentTicket(job, cache_key=key)
+            if self.prefilter is not None:
+                # Admission triage runs on every submission — before the
+                # cache, the durable store and (in the process transport)
+                # any shared-memory packing, so rejected pairs never cost
+                # more than the sketch.  Under "advise" the outcome is
+                # only counted; under "enforce" a reject resolves
+                # instantly with the seed-only placeholder and is kept
+                # out of the content-addressed cache (its key must keep
+                # meaning "real alignment" for every other mode).
+                decision = self.prefilter.classify(job, self.scoring)
+                ticket.prefilter = decision.outcome
+                self._prefilter_c.inc(outcome=decision.outcome)
+                if (
+                    self.prefilter_mode == "enforce"
+                    and decision.outcome == "reject"
+                ):
+                    from ..prefilter import rejected_result
+
+                    with self._lock:
+                        self._submitted_c.inc()
+                        self._completed_c.inc()
+                    ticket.resolve(
+                        rejected_result(job, self.scoring), cache_hit=False
+                    )
+                    return ticket
             # The cache and counters are shared with the background loop's
             # _dispatch; all access goes through the service lock.
             with self._lock:
@@ -603,6 +652,15 @@ class AlignmentService:
                     kernel_stats.suggested_batch_size(self.policy.max_batch_size)
                     if kernel_stats is not None
                     else None
+                ),
+                prefilter_mode=self.prefilter_mode,
+                prefilter_decisions=(
+                    {
+                        outcome: int(self._prefilter_c.value(outcome=outcome))
+                        for outcome in PREFILTER_OUTCOMES
+                    }
+                    if self.prefilter is not None
+                    else {}
                 ),
             )
 

@@ -674,12 +674,37 @@ class ConformanceRunner:
                 for index, (exp, act) in enumerate(zip(direct, results)):
                     report.comparisons += 1
                     mismatches = compare_results(exp, act, trace=self.config.trace)
-                    if mismatches:
+                    if mismatches and not self._prefilter_forgives(
+                        jobs[index], exp, act
+                    ):
                         self._record(
                             report, round_name, jobs[index], index,
                             mismatches, profile, workload_seed, None,
                         )
                         return
+
+    def _prefilter_forgives(self, job, direct, actual) -> bool:
+        """Whether a service/network mismatch is an *enforced* rejection.
+
+        Under ``prefilter="enforce"`` the service answers reject-class
+        pairs with the deterministic seed-only placeholder instead of a
+        real alignment.  That divergence is the mode's contract, not a
+        conformance violation — provided the direct result would have
+        failed the policy's BELLA threshold anyway (i.e. the rejection is
+        not a false one).  ``advise`` mode gets no forgiveness: it must
+        stay bit-identical.
+        """
+        service = getattr(self.config, "service", None)
+        if service is None or getattr(service, "prefilter", "off") != "enforce":
+            return False
+        from ..prefilter import PrefilterPolicy, rejected_result
+
+        synthetic = rejected_result(job, self.config.scoring)
+        if compare_results(synthetic, actual, trace=False):
+            return False  # not the placeholder: a genuine mismatch
+        policy = PrefilterPolicy.from_options(service.prefilter_options)
+        threshold = policy.threshold(self.config.scoring)
+        return not threshold.passes(direct.score, direct.overlap_length)
 
     def _ensure_server(self):
         """Start (once) and return the shared networked-service server.
@@ -716,7 +741,9 @@ class ConformanceRunner:
                 for index, (exp, act) in enumerate(zip(direct, results)):
                     report.comparisons += 1
                     mismatches = compare_results(exp, act, trace=self.config.trace)
-                    if mismatches:
+                    if mismatches and not self._prefilter_forgives(
+                        jobs[index], exp, act
+                    ):
                         self._record(
                             report, round_name, jobs[index], index,
                             mismatches, profile, workload_seed, None,

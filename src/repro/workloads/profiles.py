@@ -30,6 +30,10 @@ break banded aligners:
 ``degenerate``
     One-base pairs, seeds flush against sequence ends and seeds that
     consume an entire read — every extension is empty or one cell.
+``unrelated``
+    Independent random reads sharing only a planted seed k-mer — the
+    spurious-candidate traffic an overlapper's k-mer stage emits, whose
+    extensions score near zero; ground truth: no genuine overlap.
 ``xdrop_boundary``
     Adversarial pairs whose mismatch tail makes the extension terminate
     within +-1 anti-diagonal of the X-drop threshold, in both directions
@@ -288,6 +292,31 @@ def gen_inverted_repeat(spec: WorkloadSpec, rng: np.random.Generator) -> Iterato
         }
 
 
+def gen_unrelated(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
+    """Independent random reads that share only the planted seed k-mer.
+
+    This is the spurious-candidate traffic a k-mer overlap stage emits:
+    the seed match is real, everything around it is noise, and the
+    ground truth is that no genuine overlap exists.  ``related: False``
+    in the metadata is what the prefilter bench axis scores its reject
+    class against.
+    """
+    for _ in range(spec.count):
+        q_len = _length(spec, rng)
+        t_len = _length(spec, rng)
+        query = random_sequence(q_len, rng)
+        target = random_sequence(t_len, rng)
+        k = min(spec.seed_length, q_len, t_len)
+        q_pos = int(rng.integers(0, q_len - k + 1))
+        t_pos = int(rng.integers(0, t_len - k + 1))
+        target[t_pos : t_pos + k] = query[q_pos : q_pos + k]
+        yield query, target, Seed(q_pos, t_pos, k), {
+            "related": False,
+            "query_length": int(q_len),
+            "target_length": int(t_len),
+        }
+
+
 def gen_length_skew(spec: WorkloadSpec, rng: np.random.Generator) -> Iterator[tuple]:
     """Extreme length asymmetry, alternating which side is the short one."""
     model = _half_budget(spec, sub=0.4, ins=0.3, dele=0.3)
@@ -426,5 +455,6 @@ PROFILE_GENERATORS: dict[str, tuple[Callable, str]] = {
     "inverted_repeat": (gen_inverted_repeat, "palindromic arm / spacer / arm pairs"),
     "length_skew": (gen_length_skew, "extreme length asymmetry, both orientations"),
     "degenerate": (gen_degenerate, "one-base pairs and zero-length extensions"),
+    "unrelated": (gen_unrelated, "independent reads sharing only the seed"),
     "xdrop_boundary": (gen_xdrop_boundary, "termination within +-1 cell of X"),
 }

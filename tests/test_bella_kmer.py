@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -125,3 +126,81 @@ class TestBuildKmerIndex:
         reads = [random_sequence(60, rng) for _ in range(4)]
         index = build_kmer_index(reads, k=9, lower=1)
         assert index.total_kmers > 0
+
+
+def _well_formed(codes, positions, k, n):
+    """Shared shape/dtype/value invariants of a ``pack_kmers`` result."""
+    assert codes.dtype == np.uint64 and positions.dtype == np.int64
+    assert codes.shape == positions.shape and codes.ndim == 1
+    assert np.all(codes < np.uint64(4) ** np.uint64(k) if k < 31 else True)
+    if len(positions):
+        assert positions[0] >= 0 and positions[-1] <= n - k
+        assert np.all(np.diff(positions) > 0)
+
+
+class TestPackKmersEdgeCases:
+    """Degenerate inputs surfaced by the prefilter sketch layer."""
+
+    def test_empty_sequence(self):
+        codes, positions = pack_kmers("", 5)
+        _well_formed(codes, positions, 5, 0)
+        assert len(codes) == 0
+
+    def test_all_wildcard_sequence(self):
+        codes, positions = pack_kmers("N" * 40, 7)
+        _well_formed(codes, positions, 7, 40)
+        assert len(codes) == 0
+
+    def test_k_equals_sequence_length(self):
+        codes, positions = pack_kmers("ACGTACGT", 8)
+        _well_formed(codes, positions, 8, 8)
+        assert positions.tolist() == [0]
+
+    def test_k31_shift_boundary(self):
+        # The leading base shifts by 60 bits; all-T must fill 62 bits.
+        codes, _ = pack_kmers("T" * 31, 31)
+        assert int(codes[0]) == (1 << 62) - 1
+        codes, _ = pack_kmers("G" + "A" * 30, 31)
+        assert int(codes[0]) == 2 << 60
+
+    def test_index_over_degenerate_reads(self):
+        index = build_kmer_index(["", "NNNNNN", "ACG"], k=4, lower=1)
+        assert index.num_reads == 3
+        assert index.total_kmers == 0 and index.retained_kmers == 0
+        assert index.occurrences == {}
+        assert index.pruned_fraction == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seq=st.text(alphabet="ACGTN", min_size=0, max_size=64),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    def test_pack_kmers_always_well_formed(self, seq, k):
+        codes, positions = pack_kmers(seq, k)
+        _well_formed(codes, positions, k, len(seq))
+        # Exactly the wildcard-free windows are emitted.
+        expected = [
+            i
+            for i in range(max(0, len(seq) - k + 1))
+            if "N" not in seq[i : i + k]
+        ]
+        assert positions.tolist() == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        reads=st.lists(
+            st.text(alphabet="ACGTN", min_size=0, max_size=32), max_size=6
+        ),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_index_always_well_formed(self, reads, k):
+        index = build_kmer_index(reads, k=k, lower=1)
+        assert index.num_reads == len(reads)
+        assert index.retained_kmers == len(index.occurrences)
+        assert index.retained_kmers <= index.total_kmers
+        assert 0.0 <= index.pruned_fraction <= 1.0
+        for code, occ in index.occurrences.items():
+            assert 0 <= code < 4**k
+            for read_index, pos in occ:
+                assert 0 <= read_index < len(reads)
+                assert 0 <= pos <= len(reads[read_index]) - k

@@ -105,6 +105,87 @@ class TestResults:
             assert reopened.lookup_result(key) == result
 
 
+class TestCompaction:
+    def test_complete_tombstones_then_compact_purges(
+        self, store_path, small_jobs, scoring
+    ):
+        engine = get_engine("batched", scoring=scoring, xdrop=30)
+        results = engine.align_batch(small_jobs).results
+        keyed = _keyed(small_jobs, scoring)
+        obs = get_observability().scoped()
+        with DurableStore(store_path, obs=obs) as store:
+            ids = [store.enqueue(k, j) for k, j in keyed]
+            store.mark_inflight(ids)
+            store.complete(
+                (row_id, key, result)
+                for row_id, (key, _), result in zip(ids, keyed, results)
+            )
+            # Tombstoned rows are invisible to pending_count but still on
+            # disk until compact() purges them.
+            assert store.pending_count() == 0
+            purged = store.compact()
+            assert purged == {"queue": len(small_jobs), "results": 0}
+            assert store.compact() == {"queue": 0, "results": 0}
+            assert store.result_count() == len(small_jobs)
+        snap = obs.registry.snapshot()
+        assert snap.value(
+            "repro_durable_compacted_total", kind="queue"
+        ) == len(small_jobs)
+
+    def test_ttl_expires_old_results(self, store_path, small_jobs, scoring):
+        engine = get_engine("batched", scoring=scoring, xdrop=30)
+        result = engine.align_batch(small_jobs[:1]).results[0]
+        key = _keyed(small_jobs[:1], scoring)[0][0]
+        with DurableStore(store_path, obs=get_observability().scoped()) as store:
+            store.complete([(None, key, result)])
+            assert store.compact(ttl_seconds=3600) == {"queue": 0, "results": 0}
+            assert store.lookup_result(key) == result
+            assert store.compact(ttl_seconds=0) == {"queue": 0, "results": 1}
+            assert store.lookup_result(key) is None
+
+    def test_invalid_ttl_rejected(self, store_path):
+        with pytest.raises(ValueError):
+            DurableStore(store_path, ttl_seconds=-1)
+        with DurableStore(store_path, obs=get_observability().scoped()) as store:
+            with pytest.raises(ValueError):
+                store.compact(ttl_seconds=-0.5)
+
+    def test_store_stops_growing_across_restart_cycles(
+        self, store_path, small_jobs, scoring
+    ):
+        """Regression: enqueue/complete/restart cycles must not accrete rows."""
+        import os
+
+        engine = get_engine("batched", scoring=scoring, xdrop=30)
+        results = engine.align_batch(small_jobs).results
+        keyed = _keyed(small_jobs, scoring)
+        sizes = []
+        for _ in range(4):
+            with DurableStore(
+                store_path, obs=get_observability().scoped(), ttl_seconds=0
+            ) as store:
+                store.recover()  # compacts tombstones + expired results
+                ids = [store.enqueue(k, j) for k, j in keyed]
+                store.mark_inflight(ids)
+                store.complete(
+                    (row_id, key, result)
+                    for row_id, (key, _), result in zip(ids, keyed, results)
+                )
+                store.flush()
+            sizes.append(os.path.getsize(store_path))
+        # Same workload every cycle: once warm, the file must not grow.
+        assert sizes[-1] <= sizes[1]
+        with DurableStore(
+            store_path, obs=get_observability().scoped(), ttl_seconds=0
+        ) as store:
+            store.recover()
+            with store._lock:
+                (rows,) = store._conn.execute(
+                    "SELECT COUNT(*) FROM queue"
+                ).fetchone()
+            assert rows == 0
+
+
 class TestLifecycle:
     def test_unopenable_path_raises_service_error(self, tmp_path):
         with pytest.raises(ServiceError):

@@ -101,6 +101,30 @@ class TestResultCache:
         with pytest.raises(ValueError):
             ResultCache(capacity=-1)
 
+    def test_fresh_cache_gauge_refresh_is_safe(self):
+        """Regression: zero-lookup snapshots must not divide by zero."""
+        from repro.obs import get_observability
+
+        obs = get_observability().scoped()
+        cache = ResultCache(capacity=4, obs=obs)
+        cache.refresh_gauges()
+        stats = cache.stats()  # snapshot before any get()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+        snap = obs.registry.snapshot()
+        assert snap.value("repro_cache_hit_rate") == 0.0
+
+    def test_hit_rate_gauge_tracks_lookups(self):
+        from repro.obs import get_observability
+
+        obs = get_observability().scoped()
+        cache = ResultCache(capacity=4, obs=obs)
+        cache.get("a")  # miss
+        cache.put("a", 1)
+        cache.get("a")  # hit
+        snap = obs.registry.snapshot()
+        assert snap.value("repro_cache_hit_rate") == pytest.approx(0.5)
+
 
 class TestCacheKeyConfigRegression:
     """Two configs must never collide on one content-addressed key.
