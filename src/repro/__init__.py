@@ -45,7 +45,12 @@ pure Python/NumPy:
   registry (always live), opt-in structured tracing with context
   propagation, a flight-recorder crash ring, JSON-lines/Prometheus
   exporters and provenance stamping (``repro-obs`` CLI, CI
-  ``metrics-smoke``).
+  ``metrics-smoke``);
+* :mod:`repro.autotune` — the closed telemetry loop: per-length-bin
+  feedback controllers over windowed kernel telemetry that actuate
+  batch size and kernel knobs online, a ``gpusim``-backed what-if
+  planner gating growths, and a GCUPS-regression kill switch
+  (``ServiceConfig(autotune=...)``, CI ``autotune-smoke``).
 
 Quickstart
 ----------
@@ -95,7 +100,7 @@ from .api import AlignConfig, Aligner, ServiceConfig
 from .engine import describe_engines, get_engine, list_engines, register_engine
 from .service import AlignmentService
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,45 @@
+"""Online self-tuning of the serving stack's batch/kernel knobs.
+
+PR 5 plumbed the batched kernel's compaction telemetry
+(:class:`repro.core.xdrop_batch.BatchKernelStats`) up to
+:class:`repro.service.ServiceStats`, but nothing acted on it — the service
+ran whatever fixed ``max_batch_size`` / ``tile_width`` /
+``compact_threshold`` the operator guessed.  This package closes that
+loop:
+
+* :class:`BinController` — one feedback controller per batcher length
+  bin, consuming *windowed* telemetry
+  (:class:`repro.core.xdrop_batch.WindowedKernelStats`) and stepping the
+  bin's batch size with hysteresis, a cooldown, and bounded steps;
+* :class:`EngineKnobController` — the same discipline for the batched
+  kernel's ``tile_width`` / ``compact_threshold`` engine-level overrides;
+* :class:`WhatIfPlanner` — a :mod:`repro.gpusim`-backed what-if model
+  (the GIPS-framework pattern) that scores a proposed batch-size change
+  against the modeled device *before* it is applied;
+* :class:`AutotuneManager` — ties the controllers to a live
+  :class:`repro.service.AlignmentService`: actuates decisions in ``"on"``
+  mode, only counts them in ``"advise"`` mode, and reverts every knob to
+  the static configuration (the kill-switch) if measured GCUPS regresses.
+
+Every knob the controllers touch is *result-invariant* by construction —
+batch membership, tile width and compaction threshold change when work
+happens, never what it computes — so autotuned results stay bit-identical
+to the static service (the conformance suite enforces this).
+"""
+
+from .controller import BinController, Decision, EngineKnobController
+from .manager import AutotuneManager, tunable_knobs
+from .options import AUTOTUNE_MODES, AutotuneOptions
+from .planner import PlanEstimate, WhatIfPlanner
+
+__all__ = [
+    "AUTOTUNE_MODES",
+    "AutotuneOptions",
+    "BinController",
+    "Decision",
+    "EngineKnobController",
+    "AutotuneManager",
+    "PlanEstimate",
+    "WhatIfPlanner",
+    "tunable_knobs",
+]

@@ -1,0 +1,309 @@
+"""Feedback controllers over windowed kernel telemetry.
+
+Both controllers follow the same discipline — the control-theory
+hygiene that keeps an online tuner from oscillating or running away:
+
+* **windowed signal** — decisions read a
+  :class:`repro.core.xdrop_batch.WindowedKernelStats` ring buffer, never
+  lifetime accumulators, so the signal tracks *current* traffic;
+* **dead band** — nothing moves while the live fraction sits between
+  ``low_live_fraction`` and ``high_live_fraction``;
+* **hysteresis** — reversing the previous direction requires the signal
+  to clear the band edge by an extra margin;
+* **cooldown** — after any decision the controller sits out a few
+  batches, and its window restarts after an *applied* one (telemetry
+  gathered under the old knob value does not describe the new one);
+* **bounded steps** — knobs move geometrically (halve/double, one
+  ``compact_step``) inside hard bounds, so even a pathological signal
+  walks a knob to a bound and stops, never past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.xdrop_batch import BatchKernelStats, WindowedKernelStats
+from .options import AutotuneOptions
+
+__all__ = ["Decision", "BinController", "EngineKnobController"]
+
+
+@dataclass
+class Decision:
+    """One proposed (and later resolved) knob change.
+
+    ``action`` starts as ``"proposed"`` and is resolved by the manager to
+    ``"applied"`` (actuated), ``"advised"`` (advise mode — counted only),
+    ``"vetoed"`` (the what-if planner predicted no gain) or
+    ``"reverted"`` (kill-switch rollback record).
+    """
+
+    knob: str
+    current: float
+    proposed: float
+    signal: float
+    reason: str
+    length_bin: int | None = None
+    predicted_payoff: float | None = None
+    action: str = "proposed"
+
+    def to_dict(self) -> dict:
+        return {
+            "knob": self.knob,
+            "current": self.current,
+            "proposed": self.proposed,
+            "signal": self.signal,
+            "reason": self.reason,
+            "length_bin": self.length_bin,
+            "predicted_payoff": self.predicted_payoff,
+            "action": self.action,
+        }
+
+
+@dataclass
+class _KnobState:
+    """Per-knob cooldown + last decision direction (for hysteresis)."""
+
+    cooldown: int = 0
+    last_direction: int = 0
+
+
+class BinController:
+    """Per-length-bin batch-size controller.
+
+    The proposal mirrors the kernel's own clamped hint
+    (:meth:`WindowedKernelStats.suggested_batch_size` — halve on a low
+    windowed live fraction, double on a high one) but reads the band
+    edges from :class:`AutotuneOptions` rather than the hint's built-in
+    defaults, so a deployment can widen or narrow the dead band.  On top
+    of the geometric step the controller adds exactly the pieces a raw
+    hint lacks: windowing, a minimum sample count, hysteresis, cooldown,
+    and hard bounds derived from the static configuration.
+    """
+
+    def __init__(
+        self, length_bin: int, base_batch_size: int, options: AutotuneOptions
+    ) -> None:
+        self.length_bin = length_bin
+        self.base_batch_size = int(base_batch_size)
+        self.options = options
+        self.batch_size = self.base_batch_size
+        self.max_bound = options.batch_size_bound(self.base_batch_size)
+        # A base below the configured floor must stay reachable: the
+        # controller never forces a bin *up* just because the operator
+        # chose a small static batch.
+        self.min_bound = min(options.min_batch_size, self.base_batch_size)
+        self.window = WindowedKernelStats(options.window)
+        self.proposals = 0
+        self._state = _KnobState()
+
+    def observe(self, stats: BatchKernelStats) -> Decision | None:
+        """Fold one batch's telemetry in; maybe return a proposal."""
+        self.window.observe(stats)
+        if self._state.cooldown > 0:
+            self._state.cooldown -= 1
+            return None
+        if self.window.batches < self.options.min_window_batches:
+            return None
+        fraction = self.window.rows_weighted_live_fraction
+        opts = self.options
+        # Hysteresis: reversing the last move needs the signal to clear
+        # the band edge by the extra margin, not just cross it.
+        grow_edge = opts.high_live_fraction + (
+            opts.hysteresis if self._state.last_direction < 0 else 0.0
+        )
+        shrink_edge = opts.low_live_fraction - (
+            opts.hysteresis if self._state.last_direction > 0 else 0.0
+        )
+        proposed = self.batch_size
+        if fraction > grow_edge:
+            proposed = min(self.batch_size * 2, self.max_bound)
+        elif fraction < shrink_edge:
+            proposed = max(self.batch_size // 2, self.min_bound)
+        if proposed == self.batch_size:
+            return None
+        growing = proposed > self.batch_size
+        self.proposals += 1
+        return Decision(
+            knob="batch_size",
+            current=self.batch_size,
+            proposed=proposed,
+            signal=fraction,
+            reason=(
+                "windowed live fraction "
+                f"{fraction:.3f} {'above' if growing else 'below'} the "
+                f"{'growth' if growing else 'shrink'} band edge"
+            ),
+            length_bin=self.length_bin,
+        )
+
+    def commit(self, decision: Decision) -> None:
+        """The decision was applied: adopt it and restart the window."""
+        self._state.last_direction = (
+            1 if decision.proposed > self.batch_size else -1
+        )
+        self.batch_size = int(decision.proposed)
+        self._state.cooldown = self.options.cooldown_batches
+        # Telemetry gathered under the old batch size does not describe
+        # the new one — restart the window.
+        self.window = WindowedKernelStats(self.options.window)
+
+    def reject(self, decision: Decision) -> None:
+        """The decision was advised/vetoed: keep state, still cool down."""
+        self._state.cooldown = self.options.cooldown_batches
+
+    def reset(self) -> None:
+        """Kill-switch rollback: back to the static batch size."""
+        self.batch_size = self.base_batch_size
+        self._state = _KnobState()
+        self.window = WindowedKernelStats(self.options.window)
+
+
+class EngineKnobController:
+    """Service-wide controller of the kernel's engine-level overrides.
+
+    ``tile_width`` follows the observed union-band window: a window wider
+    than the tile pays a fold pass per extra tile every step (grow the
+    tile), a tile far wider than any window is inert (shrink it back).
+    ``compact_threshold`` follows the live fraction: a padding-heavy
+    window compacts too late (raise the threshold), a uniformly live one
+    relaxes any raise back down — but never below the *static* threshold
+    it started from.  Going below the static value trades a bounded cost
+    (occasional compaction copies) for an unbounded one (dead rows carried
+    for the rest of every sweep), which measurement shows is a net loss on
+    skewed traffic, so the controller treats the static value as a floor.
+    Both knobs are result-invariant kernel tuning — the conformance
+    property PR 2 established — so stepping them online can change speed
+    only, never output bits.
+    """
+
+    #: Knobs this controller can drive, in decision order.
+    KNOBS = ("tile_width", "compact_threshold")
+
+    def __init__(
+        self,
+        options: AutotuneOptions,
+        tile_width: int,
+        compact_threshold: float,
+    ) -> None:
+        self.options = options
+        self.tile_width = int(tile_width)
+        self.compact_threshold = float(compact_threshold)
+        #: Relaxing ``compact_threshold`` stops here, never below the
+        #: static starting point (see class docstring).
+        self.base_compact_threshold = float(compact_threshold)
+        self.window = WindowedKernelStats(options.window)
+        self.proposals = 0
+        self._states = {knob: _KnobState() for knob in self.KNOBS}
+
+    def observe(self, stats: BatchKernelStats) -> list[Decision]:
+        """Fold one batch's telemetry in; return any knob proposals."""
+        self.window.observe(stats)
+        for state in self._states.values():
+            if state.cooldown > 0:
+                state.cooldown -= 1
+        if self.window.batches < self.options.min_window_batches:
+            return []
+        merged = self.window.merged()
+        decisions = []
+        tile = self._propose_tile(merged)
+        if tile is not None:
+            decisions.append(tile)
+        compact = self._propose_compact(merged)
+        if compact is not None:
+            decisions.append(compact)
+        self.proposals += len(decisions)
+        return decisions
+
+    def _propose_tile(self, merged: BatchKernelStats) -> Decision | None:
+        if self._states["tile_width"].cooldown > 0:
+            return None
+        opts = self.options
+        peak = merged.peak_window
+        if peak <= 0:
+            return None
+        proposed = self.tile_width
+        if peak > self.tile_width and self.tile_width < opts.max_tile_width:
+            proposed = min(self.tile_width * 2, opts.max_tile_width)
+            reason = (
+                f"peak union window {peak} exceeds the tile "
+                f"({self.tile_width} cols): widen to cut fold passes"
+            )
+        elif (
+            peak < self.tile_width // 2
+            and self.tile_width > opts.min_tile_width
+        ):
+            proposed = max(self.tile_width // 2, opts.min_tile_width)
+            reason = (
+                f"peak union window {peak} is under half the tile "
+                f"({self.tile_width} cols): shrink back"
+            )
+        if proposed == self.tile_width:
+            return None
+        return Decision(
+            knob="tile_width",
+            current=self.tile_width,
+            proposed=proposed,
+            signal=float(peak),
+            reason=reason,
+        )
+
+    def _propose_compact(self, merged: BatchKernelStats) -> Decision | None:
+        if self._states["compact_threshold"].cooldown > 0:
+            return None
+        opts = self.options
+        if merged.row_steps == 0:
+            return None
+        fraction = merged.rows_weighted_live_fraction
+        proposed = self.compact_threshold
+        if (
+            fraction < opts.low_live_fraction
+            and self.compact_threshold < opts.max_compact_threshold
+        ):
+            proposed = min(
+                round(self.compact_threshold + opts.compact_step, 4),
+                opts.max_compact_threshold,
+            )
+            reason = (
+                f"windowed live fraction {fraction:.3f} is padding-heavy: "
+                "compact earlier"
+            )
+        else:
+            floor = max(opts.min_compact_threshold, self.base_compact_threshold)
+            if (
+                fraction > opts.high_live_fraction
+                and self.compact_threshold > floor
+            ):
+                proposed = max(
+                    round(self.compact_threshold - opts.compact_step, 4),
+                    floor,
+                )
+                reason = (
+                    f"windowed live fraction {fraction:.3f} is uniformly "
+                    "live: relax the raised threshold back toward the "
+                    "static value"
+                )
+        if proposed == self.compact_threshold:
+            return None
+        return Decision(
+            knob="compact_threshold",
+            current=self.compact_threshold,
+            proposed=proposed,
+            signal=fraction,
+            reason=reason,
+        )
+
+    def commit(self, decision: Decision) -> None:
+        """The decision was applied: adopt it and restart the window."""
+        state = self._states[decision.knob]
+        state.last_direction = 1 if decision.proposed > decision.current else -1
+        if decision.knob == "tile_width":
+            self.tile_width = int(decision.proposed)
+        else:
+            self.compact_threshold = float(decision.proposed)
+        state.cooldown = self.options.cooldown_batches
+        self.window = WindowedKernelStats(self.options.window)
+
+    def reject(self, decision: Decision) -> None:
+        """The decision was advised/vetoed: keep state, still cool down."""
+        self._states[decision.knob].cooldown = self.options.cooldown_batches

@@ -1,0 +1,187 @@
+"""Knobs of the self-tuning controllers (validated, JSON-round-trippable).
+
+The option surface mirrors :class:`repro.prefilter.PrefilterPolicy`: a
+frozen dataclass with eager ``__post_init__`` validation and a
+``from_options`` classmethod that rejects unknown keys, so a typo in
+``ServiceConfig(autotune_options=...)`` or ``--autotune-options`` fails at
+configuration time with the list of valid names, not at the first decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from ..core.xdrop_batch import MAX_SUGGESTED_BATCH_SIZE
+from ..errors import ConfigurationError
+
+__all__ = ["AUTOTUNE_MODES", "AutotuneOptions"]
+
+#: The three autotune modes: ``off`` (static config), ``advise`` (decide
+#: and count, never actuate), ``on`` (actuate, guarded by the kill-switch).
+AUTOTUNE_MODES = ("off", "advise", "on")
+
+
+@dataclass(frozen=True)
+class AutotuneOptions:
+    """Controller/planner/kill-switch tuning of the autotune subsystem.
+
+    Attributes
+    ----------
+    window:
+        Batches of kernel telemetry each controller's ring buffer holds;
+        the decision signal is aggregated over this window only.
+    min_window_batches:
+        Batches a window must hold before its controller may decide
+        (avoids reacting to a single unrepresentative batch).
+    cooldown_batches:
+        Batches a controller sits out after any decision (applied,
+        advised or vetoed) before it may propose again.
+    low_live_fraction, high_live_fraction:
+        The dead band of the live-fraction signal: below ``low`` the
+        batch shrinks, above ``high`` it grows, in between nothing moves.
+    hysteresis:
+        Extra margin the signal must clear to *reverse* the previous
+        decision's direction — stops a bin from flapping grow/shrink on
+        a signal hovering at a band edge.
+    min_batch_size:
+        Floor of any per-bin batch size the controller may set.
+    max_batch_size_factor:
+        Growth bound as a multiple of the configured ``max_batch_size``
+        (the static policy value); the absolute cap
+        :data:`repro.core.xdrop_batch.MAX_SUGGESTED_BATCH_SIZE` always
+        applies on top.
+    min_tile_width, max_tile_width:
+        Bounds of the ``tile_width`` engine override.
+    min_compact_threshold, max_compact_threshold, compact_step:
+        Bounds and (additive) step size of the ``compact_threshold``
+        engine override.
+    planner:
+        Consult the :class:`repro.autotune.WhatIfPlanner` before applying
+        a batch-size *growth* (shrinks are host-side padding economics the
+        device model cannot see; the kill-switch guards them instead).
+    planner_min_gain:
+        Modeled per-pair throughput ratio (proposed / current) a growth
+        must reach to be applied; below it the decision is vetoed.
+    revert_fraction:
+        Kill-switch trigger: measured GCUPS falling below
+        ``baseline * (1 - revert_fraction)`` counts as a regression.
+    revert_batches:
+        Consecutive post-decision batches that must regress before the
+        kill-switch reverts every knob to the static configuration.
+    """
+
+    window: int = 8
+    min_window_batches: int = 3
+    cooldown_batches: int = 2
+    low_live_fraction: float = 0.5
+    high_live_fraction: float = 0.85
+    hysteresis: float = 0.05
+    min_batch_size: int = 8
+    max_batch_size_factor: int = 4
+    min_tile_width: int = 256
+    max_tile_width: int = 8192
+    min_compact_threshold: float = 0.1
+    max_compact_threshold: float = 0.9
+    compact_step: float = 0.1
+    planner: bool = True
+    planner_min_gain: float = 1.0
+    revert_fraction: float = 0.5
+    revert_batches: int = 4
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(
+                f"autotune window must be positive, got {self.window}"
+            )
+        if not 1 <= self.min_window_batches <= self.window:
+            raise ConfigurationError(
+                f"autotune min_window_batches must be in [1, window], got "
+                f"{self.min_window_batches} with window={self.window}"
+            )
+        if self.cooldown_batches < 0:
+            raise ConfigurationError(
+                f"autotune cooldown_batches must be >= 0, "
+                f"got {self.cooldown_batches}"
+            )
+        if not 0.0 < self.low_live_fraction < self.high_live_fraction < 1.0:
+            raise ConfigurationError(
+                "autotune live-fraction band must satisfy 0 < low < high < 1; "
+                f"got low={self.low_live_fraction}, "
+                f"high={self.high_live_fraction}"
+            )
+        if self.hysteresis < 0 or (
+            self.high_live_fraction + self.hysteresis >= 1.0
+            or self.low_live_fraction - self.hysteresis <= 0.0
+        ):
+            raise ConfigurationError(
+                f"autotune hysteresis must keep the widened band inside "
+                f"(0, 1), got {self.hysteresis}"
+            )
+        if self.min_batch_size < 1:
+            raise ConfigurationError(
+                f"autotune min_batch_size must be positive, "
+                f"got {self.min_batch_size}"
+            )
+        if self.max_batch_size_factor < 1:
+            raise ConfigurationError(
+                f"autotune max_batch_size_factor must be >= 1, "
+                f"got {self.max_batch_size_factor}"
+            )
+        if not 1 <= self.min_tile_width <= self.max_tile_width:
+            raise ConfigurationError(
+                f"autotune tile-width bounds must satisfy 1 <= min <= max; "
+                f"got [{self.min_tile_width}, {self.max_tile_width}]"
+            )
+        if not (
+            0.0
+            <= self.min_compact_threshold
+            < self.max_compact_threshold
+            <= 1.0
+        ):
+            raise ConfigurationError(
+                "autotune compact-threshold bounds must satisfy "
+                f"0 <= min < max <= 1; got [{self.min_compact_threshold}, "
+                f"{self.max_compact_threshold}]"
+            )
+        if not 0.0 < self.compact_step <= 1.0:
+            raise ConfigurationError(
+                f"autotune compact_step must be in (0, 1], "
+                f"got {self.compact_step}"
+            )
+        if self.planner_min_gain <= 0:
+            raise ConfigurationError(
+                f"autotune planner_min_gain must be positive, "
+                f"got {self.planner_min_gain}"
+            )
+        if not 0.0 < self.revert_fraction < 1.0:
+            raise ConfigurationError(
+                f"autotune revert_fraction must be in (0, 1), "
+                f"got {self.revert_fraction}"
+            )
+        if self.revert_batches < 1:
+            raise ConfigurationError(
+                f"autotune revert_batches must be positive, "
+                f"got {self.revert_batches}"
+            )
+
+    @classmethod
+    def from_options(
+        cls, options: Mapping[str, Any] | None
+    ) -> "AutotuneOptions":
+        """Build options from a loose mapping (CLI / config dict)."""
+        opts = dict(options or {})
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(opts) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown autotune option(s) {unknown}; "
+                f"available: {sorted(known)}"
+            )
+        return cls(**opts)
+
+    def batch_size_bound(self, base: int) -> int:
+        """Growth ceiling of a bin whose static batch size is *base*."""
+        return max(
+            1, min(self.max_batch_size_factor * base, MAX_SUGGESTED_BATCH_SIZE)
+        )

@@ -1,0 +1,186 @@
+"""What-if scoring of batch-size changes against the modeled device.
+
+The GIPS framework (PAPERS.md) popularised the pattern this module
+borrows: before actuating a knob online, *predict* its payoff on a
+performance model and refuse changes the model scores as useless.  Here
+the model is :class:`repro.gpusim.KernelExecutionModel` — the same
+trace-driven V100 model the benchmarks use — fed a synthetic workload
+reconstructed from windowed kernel telemetry.
+
+The reconstruction is deliberately coarse: from a window's merged
+:class:`BatchKernelStats` we know the mean live depth per extension
+(``active_row_steps / rows``), the mean live band width
+(``cells / active_row_steps``) and the straggler depth (``steps`` per
+observed batch — the global sweep runs until its deepest row retires).
+A modeled batch of ``B`` blocks is then ``B - s`` typical blocks plus
+``s`` stragglers (``s`` scaled from the observed straggler rate), which
+captures exactly the two effects a batch-size change moves: launch/wave
+amortisation and the straggler critical path.
+
+The asymmetry documented on :class:`AutotuneOptions.planner` follows
+from what the model can see.  Growth economics (occupancy, launch
+amortisation) are device-model territory, so growths are gated on the
+modeled payoff.  Shrink economics on the *host* kernel are padded-carry
+costs between compactions — packed-array bookkeeping the
+one-block-per-extension GPU model has no concept of — so shrinks are
+scored (the prediction is recorded on the decision) but never vetoed;
+the measured-GCUPS kill-switch guards them instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.xdrop_batch import BatchKernelStats
+from ..gpusim import (
+    TESLA_V100,
+    BlockWorkTrace,
+    KernelExecutionModel,
+    KernelWorkload,
+)
+
+__all__ = ["PlanEstimate", "WhatIfPlanner"]
+
+#: Cap of the synthetic per-block depth (keeps a what-if O(small)).
+_MAX_MODEL_DEPTH = 4096
+
+#: Sampled blocks per synthetic workload; the rest is ``replication``.
+_MAX_SAMPLED_BLOCKS = 64
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Modeled execution of one hypothetical batch launch."""
+
+    batch_size: int
+    seconds: float
+    per_pair_seconds: float
+    gcups: float
+    utilization: float
+    bound: str
+
+    def to_dict(self) -> dict:
+        return {
+            "batch_size": self.batch_size,
+            "seconds": self.seconds,
+            "per_pair_seconds": self.per_pair_seconds,
+            "gcups": self.gcups,
+            "utilization": self.utilization,
+            "bound": self.bound,
+        }
+
+
+class WhatIfPlanner:
+    """Scores proposed batch sizes on the :mod:`repro.gpusim` device model."""
+
+    def __init__(
+        self,
+        device=None,
+        threads_per_block: int = 128,
+        model: KernelExecutionModel | None = None,
+    ) -> None:
+        self.device = device if device is not None else TESLA_V100
+        self.threads_per_block = int(threads_per_block)
+        self.model = (
+            model if model is not None else KernelExecutionModel(self.device)
+        )
+
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self, stats: BatchKernelStats, batch_size: int, batches: int = 1
+    ) -> PlanEstimate | None:
+        """Model one launch of *batch_size* window-shaped extensions.
+
+        *stats* is the merged window telemetry; *batches* is how many
+        kernel batches the window folded together (drives the straggler
+        rate).  Returns ``None`` when the window holds no usable signal.
+        """
+        rows = stats.rows
+        if (
+            batch_size < 1
+            or rows <= 0
+            or stats.steps <= 0
+            or stats.active_row_steps <= 0
+            or stats.cells <= 0
+        ):
+            return None
+        batches = max(1, int(batches))
+        depth_typical = min(
+            max(1, round(stats.active_row_steps / rows)), _MAX_MODEL_DEPTH
+        )
+        band = max(1, round(stats.cells / stats.active_row_steps))
+        depth_straggler = min(
+            max(depth_typical, round(stats.steps / batches)), _MAX_MODEL_DEPTH
+        )
+        # One straggler per observed batch, scaled to the modeled size.
+        straggler_rate = batches / rows
+        stragglers = min(
+            batch_size, max(1, round(batch_size * straggler_rate))
+        )
+        workload = self._synthesize(
+            batch_size, stragglers, depth_typical, depth_straggler, band
+        )
+        timing = self.model.execute(workload, self.threads_per_block)
+        return PlanEstimate(
+            batch_size=batch_size,
+            seconds=timing.total_seconds,
+            per_pair_seconds=timing.total_seconds / batch_size,
+            gcups=timing.gcups,
+            utilization=timing.utilization,
+            bound=timing.bound,
+        )
+
+    def _synthesize(
+        self,
+        batch_size: int,
+        stragglers: int,
+        depth_typical: int,
+        depth_straggler: int,
+        band: int,
+    ) -> KernelWorkload:
+        """Build a small sampled workload representing *batch_size* blocks."""
+
+        def block(depth: int) -> BlockWorkTrace:
+            length = depth // 2 + band
+            return BlockWorkTrace(
+                band_widths=np.full(depth, band, dtype=np.int64),
+                query_length=length,
+                target_length=length,
+            )
+
+        typical = batch_size - stragglers
+        if batch_size <= _MAX_SAMPLED_BLOCKS:
+            sampled_stragglers = stragglers
+            sampled_typical = typical
+            replication = 1.0
+        else:
+            sampled_stragglers = max(
+                1, round(_MAX_SAMPLED_BLOCKS * stragglers / batch_size)
+            )
+            sampled_typical = _MAX_SAMPLED_BLOCKS - sampled_stragglers
+            replication = batch_size / _MAX_SAMPLED_BLOCKS
+        blocks = [block(depth_typical) for _ in range(sampled_typical)]
+        blocks += [block(depth_straggler) for _ in range(sampled_stragglers)]
+        return KernelWorkload(blocks=blocks, replication=replication)
+
+    # ------------------------------------------------------------------ #
+    def payoff(
+        self,
+        stats: BatchKernelStats,
+        batches: int,
+        current: int,
+        proposed: int,
+    ) -> float | None:
+        """Modeled per-pair throughput ratio of *proposed* over *current*.
+
+        ``> 1`` means the model predicts the change pays; ``None`` means
+        the window gave the model nothing to chew on (the caller should
+        fail open, not veto on ignorance).
+        """
+        before = self.estimate(stats, current, batches=batches)
+        after = self.estimate(stats, proposed, batches=batches)
+        if before is None or after is None or after.per_pair_seconds <= 0:
+            return None
+        return before.per_pair_seconds / after.per_pair_seconds

@@ -75,8 +75,10 @@ from .scoring import ScoringScheme
 
 __all__ = [
     "BatchKernelStats",
+    "WindowedKernelStats",
     "DEFAULT_COMPACT_THRESHOLD",
     "DEFAULT_TILE_WIDTH",
+    "MAX_SUGGESTED_BATCH_SIZE",
     "xdrop_extend_batch",
 ]
 
@@ -85,6 +87,11 @@ DEFAULT_COMPACT_THRESHOLD = 0.5
 
 #: Column-tile width of the anti-diagonal sweep (cache-friendly tiles).
 DEFAULT_TILE_WIDTH = 2048
+
+#: Absolute ceiling of :meth:`BatchKernelStats.suggested_batch_size` — no
+#: amount of consecutive high-live-fraction windows may walk the hint past
+#: this many extensions per batch.
+MAX_SUGGESTED_BATCH_SIZE = 1024
 
 _NEG64 = np.int64(NEG_INF)
 #: Pruned-cell sentinels: a quarter of each dtype's range, so adding any
@@ -172,7 +179,9 @@ class BatchKernelStats:
         """Row-steps spent carrying retired rows (what compaction avoids)."""
         return self.row_steps - self.active_row_steps
 
-    def suggested_batch_size(self, current: int) -> int:
+    def suggested_batch_size(
+        self, current: int, max_batch_size: int | None = None
+    ) -> int:
         """Batch-sizing hint for the serving layer's adaptive batcher.
 
         A low live fraction means retirement times are very uneven, so a
@@ -182,6 +191,13 @@ class BatchKernelStats:
         to at most double *current* and never drops below half of it (with
         an absolute floor of 8).
 
+        The growth side is clamped: the hint never exceeds
+        *max_batch_size* (default ``4 * current``, i.e. four times the
+        configured batch size at the service call sites) nor the absolute
+        cap :data:`MAX_SUGGESTED_BATCH_SIZE` — a controller obeying the
+        hint on repeated high-live windows must converge, not walk the
+        batch size off to infinity.
+
         The signal is the *rows-weighted* live fraction: each merged
         sweep contributes in proportion to how many extensions it carried,
         so one tiny long-running batch cannot flip the hint for a service
@@ -189,12 +205,14 @@ class BatchKernelStats:
         """
         if current <= 0 or self.row_steps == 0:
             return max(current, 1)
+        ceiling = 4 * current if max_batch_size is None else int(max_batch_size)
+        ceiling = max(1, min(ceiling, MAX_SUGGESTED_BATCH_SIZE))
         fraction = self.rows_weighted_live_fraction
         if fraction < 0.5:
-            return max(8, current // 2)
+            return min(max(8, current // 2), ceiling)
         if fraction > 0.85:
-            return current * 2
-        return current
+            return min(current * 2, ceiling)
+        return min(current, ceiling)
 
     def merge(self, other: "BatchKernelStats") -> "BatchKernelStats":
         """Fold *other* into this accumulator (in place) and return self."""
@@ -229,6 +247,92 @@ class BatchKernelStats:
             "cells": self.cells,
             "dtype": self.dtype,
         }
+
+
+class WindowedKernelStats:
+    """Ring buffer of the most recent per-batch :class:`BatchKernelStats`.
+
+    The lifetime accumulator the serving layer used to keep answers "what
+    has the kernel done since the process started" — a signal that goes
+    stale the moment traffic shifts, because hours of history outvote the
+    last minute.  Controllers need the opposite: *windowed* telemetry over
+    the last ``window`` batches, so a change in live fraction shows up
+    within a handful of dispatches.
+
+    :meth:`observe` appends one batch's accumulator; properties aggregate
+    over the current window only (via :meth:`merged`), while
+    :attr:`total_batches` still counts every batch ever observed so
+    lifetime throughput accounting stays possible.
+    """
+
+    def __init__(self, window: int = 32) -> None:
+        if window < 1:
+            raise ConfigurationError(
+                f"window must be positive, got {window}"
+            )
+        self.window = int(window)
+        self._entries: list[BatchKernelStats] = []
+        self.total_batches = 0
+
+    def observe(self, stats: BatchKernelStats) -> None:
+        """Append one batch's accumulator (oldest entry falls off)."""
+        self._entries.append(stats)
+        if len(self._entries) > self.window:
+            del self._entries[0]
+        self.total_batches += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def batches(self) -> int:
+        """Batches currently inside the window."""
+        return len(self._entries)
+
+    def merged(self) -> BatchKernelStats:
+        """Fold the window into one fresh accumulator."""
+        merged = BatchKernelStats()
+        for entry in self._entries:
+            merged.merge(entry)
+        return merged
+
+    @property
+    def rows(self) -> int:
+        return sum(e.rows for e in self._entries)
+
+    @property
+    def cells(self) -> int:
+        return sum(e.cells for e in self._entries)
+
+    @property
+    def live_fraction(self) -> float:
+        """Mean live fraction over the window (1.0 when empty)."""
+        row_steps = sum(e.row_steps for e in self._entries)
+        if row_steps == 0:
+            return 1.0
+        active = sum(e.active_row_steps for e in self._entries)
+        return active / row_steps
+
+    @property
+    def rows_weighted_live_fraction(self) -> float:
+        """Rows-weighted live fraction over the window."""
+        return self.merged().rows_weighted_live_fraction
+
+    def suggested_batch_size(
+        self, current: int, max_batch_size: int | None = None
+    ) -> int:
+        """The windowed version of the batch-sizing hint."""
+        return self.merged().suggested_batch_size(
+            current, max_batch_size=max_batch_size
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (windowed aggregate + window meta)."""
+        payload = self.merged().to_dict()
+        payload["window"] = self.window
+        payload["window_batches"] = self.batches
+        payload["total_batches"] = self.total_batches
+        return payload
 
 
 def _resolve_tuning(

@@ -87,6 +87,11 @@ class _EngineBase:
 
     name = "abstract"
     exact = True
+    #: Result-invariant tuning attributes the autotune layer may override
+    #: in place on a live instance.  Empty by default: the per-pair
+    #: kernels (compiled/wavefront) have neither active-row compaction
+    #: nor column tiling, so they expose no online tuning surface.
+    TUNABLE_KNOBS: tuple = ()
 
     def __init__(
         self,
@@ -236,6 +241,9 @@ class BatchedEngine(_EngineBase):
     """
 
     name = "batched"
+    #: Both knobs are read per align_batch call, so the autotune layer can
+    #: retune a live instance between dispatches (results are invariant).
+    TUNABLE_KNOBS = ("tile_width", "compact_threshold")
 
     def __init__(
         self,

@@ -103,6 +103,7 @@ class AdaptiveBatcher:
     def __init__(self, policy: BatchPolicy | None = None, obs=None) -> None:
         self.policy = policy or BatchPolicy()
         self._bins: dict[int, _Bin] = {}
+        self._bin_limits: dict[int, int] = {}
         self.batches_formed = 0
         self.flush_reasons: dict[str, int] = {"size": 0, "wait": 0, "drain": 0}
         self._obs = obs
@@ -138,20 +139,49 @@ class AdaptiveBatcher:
             job.query_length + job.target_length, self.policy.bin_width
         )
 
+    def limit_for(self, index: int) -> int:
+        """Effective size-flush limit of a bin (per-bin override or policy)."""
+        return self._bin_limits.get(index, self.policy.max_batch_size)
+
+    def set_bin_limit(self, index: int, limit: int) -> None:
+        """Override one bin's size-flush limit (autotune actuation point).
+
+        The override only changes *when* a bin flushes, never what the
+        batches compute, so results stay bit-identical by construction.
+        A bin already holding more tickets than the new limit flushes on
+        its next admission (or wait/drain) rather than immediately.
+        """
+        if limit < 1:
+            raise ServiceError(f"bin limit must be positive, got {limit}")
+        self._bin_limits[index] = int(limit)
+
+    def clear_bin_limits(self) -> None:
+        """Drop every per-bin override (autotune kill-switch revert)."""
+        self._bin_limits.clear()
+
+    @property
+    def bin_limits(self) -> dict[int, int]:
+        """Snapshot of the per-bin overrides currently in force."""
+        return dict(self._bin_limits)
+
     def add(self, ticket: AlignmentTicket, now: float) -> FormedBatch | None:
         """Admit one ticket; return a batch iff its bin just filled up."""
         index = self._bin_of(ticket)
         bucket = self._bins.get(index)
         if bucket is None:
+            # _flush_bin pops a bin outright, so a bucket present in the
+            # map always holds tickets — no empty-bucket arrival reset.
             bucket = self._bins[index] = _Bin(oldest_arrival=now)
-        elif not bucket.tickets:
-            bucket.oldest_arrival = now
         bucket.tickets.append(ticket)
-        if len(bucket.tickets) >= self.policy.max_batch_size:
-            return self._flush_bin(index, "size")
-        if self._pending_gauge is not None:
+        formed = None
+        if len(bucket.tickets) >= self.limit_for(index):
+            formed = self._flush_bin(index, "size")
+        elif self._pending_gauge is not None:
+            # The size-flush path refreshes the gauge inside _flush_bin;
+            # this branch covers the still-pending admission, so the gauge
+            # tracks ``pending`` after every add.
             self._pending_gauge.set(self.pending)
-        return None
+        return formed
 
     def due(self, now: float) -> list[FormedBatch]:
         """Batches whose oldest member has exceeded the wait bound."""

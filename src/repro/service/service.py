@@ -29,6 +29,7 @@ from typing import Iterable, Sequence
 
 from .._compat import warn_once
 from ..core.job import AlignmentJob
+from ..core.xdrop_batch import WindowedKernelStats
 from ..core.result import SeedAlignmentResult
 from ..core.scoring import ScoringScheme
 from ..engine import get_engine
@@ -69,14 +70,20 @@ class ServiceStats:
         Per-shard accounting (batches, jobs, cells, seconds).
     kernel_live_fraction:
         Mean live-row fraction reported by the batched kernel's compaction
-        telemetry (``None`` until an engine reports kernel stats).
+        telemetry over the recent-batch window (``None`` until an engine
+        reports kernel stats).
     suggested_batch_size:
-        Batch-sizing hint derived from that telemetry: the ``max_batch_size``
-        the compaction stats suggest the batcher should target (``None``
-        without kernel stats).
+        Batch-sizing hint derived from that windowed telemetry: the
+        ``max_batch_size`` the compaction stats suggest the batcher should
+        target (``None`` without kernel stats).
     prefilter_mode, prefilter_decisions:
         Admission triage mode (``"off"``/``"advise"``/``"enforce"``) and
         the per-outcome decision counts (empty when the prefilter is off).
+    autotune_mode, autotune:
+        Self-tuning mode (``"off"``/``"advise"``/``"on"``) and the
+        :meth:`repro.autotune.AutotuneManager.snapshot` — decision counts,
+        per-bin batch sizes, engine knobs, kill-switch state (empty when
+        autotune is off).
     """
 
     submitted: int = 0
@@ -94,6 +101,8 @@ class ServiceStats:
     suggested_batch_size: int | None = None
     prefilter_mode: str = "off"
     prefilter_decisions: dict = field(default_factory=dict)
+    autotune_mode: str = "off"
+    autotune: dict = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -134,6 +143,8 @@ class ServiceStats:
             "suggested_batch_size": self.suggested_batch_size,
             "prefilter_mode": self.prefilter_mode,
             "prefilter_decisions": dict(self.prefilter_decisions),
+            "autotune_mode": self.autotune_mode,
+            "autotune": dict(self.autotune),
         }
 
 
@@ -215,6 +226,8 @@ class AlignmentService:
             state_path = svc.state_path
             prefilter_mode = svc.prefilter
             prefilter_options = svc.prefilter_options
+            autotune_mode = svc.autotune
+            autotune_options = svc.autotune_options
         elif (
             engine != "batched"
             or scoring is not None
@@ -240,6 +253,8 @@ class AlignmentService:
             state_path = None
             prefilter_mode = "off"
             prefilter_options = {}
+            autotune_mode = "off"
+            autotune_options = {}
         self.config = config
         self.scoring = scoring if scoring is not None else ScoringScheme()
         self.xdrop = int(xdrop)
@@ -319,7 +334,27 @@ class AlignmentService:
             "admission triage decisions, by outcome",
             labelnames=("outcome",),
         )
-        self._kernel_stats = None  # accumulated BatchKernelStats, if any
+        # Windowed compaction telemetry over the most recent batches — the
+        # signal the controllers (and the stats() hints) read.  A lifetime
+        # accumulator would let hours-old traffic outvote the last minute.
+        self._kernel_stats = WindowedKernelStats()
+        self.autotune_mode = autotune_mode
+        self.autotune = None
+        if autotune_mode != "off":
+            from ..autotune import AutotuneManager, AutotuneOptions
+
+            self.autotune = AutotuneManager(
+                mode=autotune_mode,
+                options=AutotuneOptions.from_options(autotune_options),
+                batcher=self.batcher,
+                # Engine-knob overrides only reach a kernel running in
+                # this interpreter; process-transport workers rebuild
+                # their engines in their own processes, so only the
+                # batch-size knob tunes there.
+                engine=self.engine if transport != "process" else None,
+                base_batch_size=self.policy.max_batch_size,
+                obs=self.obs,
+            )
         self.crash_dump_path = None  # optional JSON path for crash dumps
         self.last_crash_dump: dict | None = None
         self._recovered_c = self.obs.counter(
@@ -474,6 +509,21 @@ class AlignmentService:
             for ticket in batch.tickets:
                 ticket.fail(error)
             return
+        if len(run.results) != batch.size:
+            # A truncated (or padded) result list must fail the whole
+            # batch loudly: zipping it against the tickets would silently
+            # drop the tail and leave those submitters blocked forever.
+            error = ServiceError(
+                f"engine returned {len(run.results)} results for a batch "
+                f"of {batch.size} jobs (length bin {batch.length_bin}): "
+                "refusing to scatter a mismatched batch"
+            )
+            if durable_ids:
+                self.store.release(durable_ids)
+            self._record_crash(error, batch)
+            for ticket in batch.tickets:
+                ticket.fail(error)
+            return
         if self.store is not None:
             self.store.complete(
                 (ticket.durable_id, self._key_json(ticket.cache_key), result)
@@ -485,13 +535,10 @@ class AlignmentService:
             self._completed_c.inc(batch.size)
             kernel_stats = run.extras.get("kernel_stats")
             if kernel_stats is not None:
-                # Accumulate compaction telemetry across batches; stats()
-                # turns it into the batcher's batch-sizing hint.
-                if self._kernel_stats is None:
-                    from ..core.xdrop_batch import BatchKernelStats
-
-                    self._kernel_stats = BatchKernelStats()
-                self._kernel_stats.merge(kernel_stats)
+                # Windowed compaction telemetry: stats() turns it into
+                # the batch-sizing hint, the autotune controllers act on
+                # it.
+                self._kernel_stats.observe(kernel_stats)
                 self._live_fraction_g.set(
                     self._kernel_stats.rows_weighted_live_fraction
                 )
@@ -499,6 +546,14 @@ class AlignmentService:
                     self._kernel_stats.suggested_batch_size(
                         self.policy.max_batch_size
                     )
+                )
+            if self.autotune is not None:
+                self.autotune.on_batch(
+                    length_bin=batch.length_bin,
+                    batch_size=batch.size,
+                    kernel_stats=kernel_stats,
+                    cells=run.summary.cells,
+                    elapsed_seconds=run.elapsed_seconds,
                 )
             for ticket, result in zip(batch.tickets, run.results):
                 self.cache.put(ticket.cache_key, result)
@@ -646,11 +701,13 @@ class AlignmentService:
                 throughput_gcups=gcups(cells, busy),
                 workers=list(self.pool.worker_stats),
                 kernel_live_fraction=(
-                    kernel_stats.live_fraction if kernel_stats is not None else None
+                    kernel_stats.live_fraction
+                    if kernel_stats.total_batches > 0
+                    else None
                 ),
                 suggested_batch_size=(
                     kernel_stats.suggested_batch_size(self.policy.max_batch_size)
-                    if kernel_stats is not None
+                    if kernel_stats.total_batches > 0
                     else None
                 ),
                 prefilter_mode=self.prefilter_mode,
@@ -660,6 +717,12 @@ class AlignmentService:
                         for outcome in PREFILTER_OUTCOMES
                     }
                     if self.prefilter is not None
+                    else {}
+                ),
+                autotune_mode=self.autotune_mode,
+                autotune=(
+                    self.autotune.snapshot()
+                    if self.autotune is not None
                     else {}
                 ),
             )

@@ -1,0 +1,461 @@
+"""Tests of the self-tuning subsystem (:mod:`repro.autotune`).
+
+Covers option validation, the per-bin batch-size controller (convergence
+on low/high/oscillating telemetry streams, hard bounds), the engine-knob
+controller (tile/compaction stepping, the static compact-threshold
+floor), the gpusim-backed what-if planner, the manager state machine
+(advise vs on, planner veto, kill-switch revert) and the end-to-end
+service integration including bit-identity of tuned results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import AlignConfig, ServiceConfig
+from repro.autotune import (
+    AUTOTUNE_MODES,
+    AutotuneManager,
+    AutotuneOptions,
+    BinController,
+    EngineKnobController,
+    WhatIfPlanner,
+    tunable_knobs,
+)
+from repro.core.xdrop_batch import (
+    MAX_SUGGESTED_BATCH_SIZE,
+    BatchKernelStats,
+)
+from repro.engine import get_engine
+from repro.errors import ConfigurationError
+from repro.service import AdaptiveBatcher, AlignmentService, BatchPolicy
+from repro.workloads import WorkloadSpec, generate_workload
+
+SMALL = WorkloadSpec(count=12, seed=7, min_length=120, max_length=400, xdrop=15)
+
+#: Aggressive pacing so a handful of batches is enough to decide.
+FAST = dict(window=2, min_window_batches=1, cooldown_batches=0)
+
+
+def kstats(rows=32, fraction=0.9, peak=512, depth=50):
+    """Synthetic one-batch telemetry with a chosen live fraction."""
+    row_steps = rows * depth
+    return BatchKernelStats(
+        rows=rows,
+        steps=depth,
+        row_steps=row_steps,
+        active_row_steps=int(row_steps * fraction),
+        compactions=1,
+        tiles=depth,
+        peak_window=peak,
+        cells=row_steps * 16,
+        dtype="int16",
+        weighted_rows=rows,
+        weighted_live=fraction * rows,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Options.
+# --------------------------------------------------------------------------- #
+class TestAutotuneOptions:
+    def test_defaults_are_valid(self):
+        opts = AutotuneOptions()
+        assert opts.window >= 1
+        assert 0.0 < opts.low_live_fraction < opts.high_live_fraction <= 1.0
+
+    def test_from_options_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            AutotuneOptions.from_options({"not_a_knob": 1})
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutotuneOptions(window=0)
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutotuneOptions(low_live_fraction=0.9, high_live_fraction=0.5)
+
+    def test_batch_size_bound_caps_at_hint_ceiling(self):
+        opts = AutotuneOptions(max_batch_size_factor=4)
+        assert opts.batch_size_bound(16) == 64
+        assert opts.batch_size_bound(10**6) == MAX_SUGGESTED_BATCH_SIZE
+
+    def test_modes_tuple(self):
+        assert AUTOTUNE_MODES == ("off", "advise", "on")
+
+
+# --------------------------------------------------------------------------- #
+# Batch-size hint clamp (the satellite fix in the core).
+# --------------------------------------------------------------------------- #
+class TestSuggestedBatchSizeClamp:
+    def test_growth_capped_at_four_times_current_by_default(self):
+        grown = kstats(fraction=0.95).suggested_batch_size(512)
+        assert grown == 1024  # doubling stays under the 4x default ceiling
+
+    def test_absolute_ceiling_is_never_exceeded(self):
+        assert (
+            kstats(fraction=0.95).suggested_batch_size(MAX_SUGGESTED_BATCH_SIZE)
+            == MAX_SUGGESTED_BATCH_SIZE
+        )
+        assert (
+            kstats(fraction=0.95).suggested_batch_size(
+                900, max_batch_size=10**9
+            )
+            == MAX_SUGGESTED_BATCH_SIZE
+        )
+
+    def test_explicit_ceiling_clamps_every_branch(self):
+        # Growth, hold and shrink all respect an explicit ceiling.
+        assert kstats(fraction=0.95).suggested_batch_size(64, max_batch_size=100) == 100
+        assert kstats(fraction=0.7).suggested_batch_size(64, max_batch_size=32) == 32
+        assert kstats(fraction=0.2).suggested_batch_size(64, max_batch_size=16) == 16
+
+    def test_ceiling_is_at_least_one(self):
+        assert kstats(fraction=0.95).suggested_batch_size(1, max_batch_size=0) == 1
+
+
+# --------------------------------------------------------------------------- #
+# BinController.
+# --------------------------------------------------------------------------- #
+def drive(controller, fractions):
+    """Feed fractions through observe/commit; return applied decisions."""
+    applied = []
+    for fraction in fractions:
+        decision = controller.observe(kstats(fraction=fraction))
+        if decision is not None:
+            controller.commit(decision)
+            applied.append(decision)
+    return applied
+
+
+class TestBinController:
+    def test_uniform_stream_grows_to_bound_and_settles(self):
+        opts = AutotuneOptions(**FAST, max_batch_size_factor=4)
+        ctrl = BinController(1, 16, opts)
+        applied = drive(ctrl, [0.95] * 10)
+        assert ctrl.batch_size == 64  # 16 -> 32 -> 64, then nothing
+        assert len(applied) == 2
+        assert all(d.proposed <= ctrl.max_bound for d in applied)
+
+    def test_ragged_stream_shrinks_to_floor_and_settles(self):
+        opts = AutotuneOptions(**FAST)
+        ctrl = BinController(0, 64, opts)
+        applied = drive(ctrl, [0.2] * 12)
+        assert ctrl.batch_size == opts.min_batch_size
+        assert len(applied) == 3  # 64 -> 32 -> 16 -> 8, then nothing
+        assert all(d.proposed >= ctrl.min_bound for d in applied)
+
+    def test_small_static_base_stays_reachable(self):
+        # An operator base below the configured floor is a valid floor.
+        ctrl = BinController(0, 4, AutotuneOptions(**FAST, min_batch_size=8))
+        drive(ctrl, [0.2] * 4)
+        assert ctrl.batch_size == 4
+
+    def test_oscillation_inside_hysteresis_margin_settles(self):
+        # Signal flips across the band edges but never clears the extra
+        # hysteresis margin after a reversal: one initial move, then hold.
+        opts = AutotuneOptions(**FAST, hysteresis=0.05)
+        ctrl = BinController(2, 32, opts)
+        applied = drive(ctrl, [0.87, 0.48, 0.87, 0.48, 0.87, 0.48])
+        assert len(applied) == 1  # the initial grow; reversals are damped
+        assert ctrl.batch_size == 64
+
+    def test_pathological_stream_never_leaves_bounds(self):
+        opts = AutotuneOptions(**FAST)
+        ctrl = BinController(0, 16, opts)
+        sizes = []
+        for fraction in [0.99, 0.01] * 20:
+            decision = ctrl.observe(kstats(fraction=fraction))
+            if decision is not None:
+                ctrl.commit(decision)
+            sizes.append(ctrl.batch_size)
+        assert all(ctrl.min_bound <= s <= ctrl.max_bound for s in sizes)
+
+    def test_min_window_batches_gates_decisions(self):
+        opts = AutotuneOptions(window=8, min_window_batches=4, cooldown_batches=0)
+        ctrl = BinController(0, 16, opts)
+        for _ in range(3):
+            assert ctrl.observe(kstats(fraction=0.95)) is None
+        assert ctrl.observe(kstats(fraction=0.95)) is not None
+
+    def test_commit_restarts_window(self):
+        opts = AutotuneOptions(window=4, min_window_batches=2, cooldown_batches=0)
+        ctrl = BinController(0, 16, opts)
+        drive(ctrl, [0.95, 0.95])
+        assert ctrl.batch_size == 32
+        # Old-knob telemetry was discarded: one fresh batch is not enough.
+        assert ctrl.window.batches == 0
+        assert ctrl.observe(kstats(fraction=0.95)) is None
+
+    def test_reset_returns_to_static_base(self):
+        ctrl = BinController(0, 16, AutotuneOptions(**FAST))
+        drive(ctrl, [0.95] * 6)
+        assert ctrl.batch_size > 16
+        ctrl.reset()
+        assert ctrl.batch_size == 16
+
+
+# --------------------------------------------------------------------------- #
+# EngineKnobController.
+# --------------------------------------------------------------------------- #
+class TestEngineKnobController:
+    def observe_commit(self, ctrl, stats):
+        decisions = ctrl.observe(stats)
+        for decision in decisions:
+            ctrl.commit(decision)
+        return decisions
+
+    def test_tile_grows_toward_peak_window(self):
+        opts = AutotuneOptions(**FAST, max_tile_width=4096)
+        ctrl = EngineKnobController(opts, tile_width=512, compact_threshold=0.5)
+        for _ in range(6):
+            self.observe_commit(ctrl, kstats(peak=3000))
+        assert ctrl.tile_width == 4096  # doubled to the bound, then stopped
+
+    def test_tile_shrinks_back_but_respects_floor(self):
+        opts = AutotuneOptions(**FAST, min_tile_width=256)
+        ctrl = EngineKnobController(opts, tile_width=2048, compact_threshold=0.5)
+        for _ in range(8):
+            self.observe_commit(ctrl, kstats(peak=100))
+        assert ctrl.tile_width == 256
+
+    def test_compact_raises_on_padding_heavy_stream(self):
+        opts = AutotuneOptions(**FAST, max_compact_threshold=0.9)
+        ctrl = EngineKnobController(opts, tile_width=512, compact_threshold=0.5)
+        for _ in range(8):
+            self.observe_commit(ctrl, kstats(fraction=0.2))
+        assert ctrl.compact_threshold == pytest.approx(0.9)
+
+    def test_compact_never_relaxes_below_static_value(self):
+        # A uniformly live stream relaxes a *raised* threshold back down,
+        # but the static starting point is a hard floor: below it the
+        # kernel carries dead rows for the rest of every sweep.
+        opts = AutotuneOptions(**FAST, min_compact_threshold=0.1)
+        ctrl = EngineKnobController(opts, tile_width=512, compact_threshold=0.5)
+        for _ in range(10):
+            self.observe_commit(ctrl, kstats(fraction=0.95))
+        assert ctrl.compact_threshold == pytest.approx(0.5)
+
+    def test_compact_round_trip_raise_then_relax_to_base(self):
+        opts = AutotuneOptions(**FAST)
+        ctrl = EngineKnobController(opts, tile_width=512, compact_threshold=0.5)
+        for _ in range(3):
+            self.observe_commit(ctrl, kstats(fraction=0.2))
+        raised = ctrl.compact_threshold
+        assert raised > 0.5
+        for _ in range(10):
+            self.observe_commit(ctrl, kstats(fraction=0.95))
+        assert ctrl.compact_threshold == pytest.approx(0.5)
+
+
+# --------------------------------------------------------------------------- #
+# WhatIfPlanner.
+# --------------------------------------------------------------------------- #
+class TestWhatIfPlanner:
+    def test_estimate_produces_positive_timing(self):
+        est = WhatIfPlanner().estimate(kstats(rows=64, depth=80), batch_size=64)
+        assert est is not None
+        assert est.seconds > 0 and est.per_pair_seconds > 0
+        assert est.gcups > 0
+        assert est.bound in ("compute", "memory", "latency", "launch")
+        payload = est.to_dict()
+        assert payload["batch_size"] == 64
+
+    def test_estimate_without_signal_is_none(self):
+        assert WhatIfPlanner().estimate(BatchKernelStats(), batch_size=32) is None
+
+    def test_growth_payoff_is_positive_and_finite(self):
+        stats = kstats(rows=128, depth=60)
+        payoff = WhatIfPlanner().payoff(stats, batches=4, current=32, proposed=64)
+        assert payoff is not None and payoff > 0
+
+
+# --------------------------------------------------------------------------- #
+# Manager.
+# --------------------------------------------------------------------------- #
+def make_manager(mode="on", engine=None, base=16, **option_kwargs):
+    options = AutotuneOptions(**{**FAST, **option_kwargs})
+    batcher = AdaptiveBatcher(BatchPolicy(max_batch_size=base))
+    manager = AutotuneManager(
+        mode, options, batcher, engine=engine, base_batch_size=base
+    )
+    return manager, batcher
+
+
+def feed(manager, fraction=0.95, batches=6, length_bin=1, elapsed=0.01):
+    out = []
+    for _ in range(batches):
+        out.extend(
+            manager.on_batch(
+                length_bin=length_bin,
+                batch_size=16,
+                kernel_stats=kstats(fraction=fraction),
+                cells=10**7,
+                elapsed_seconds=elapsed,
+            )
+        )
+    return out
+
+
+class TestAutotuneManager:
+    def test_off_mode_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_manager(mode="off")
+
+    def test_advise_counts_without_actuating(self):
+        engine = get_engine("batched", xdrop=15)
+        static_tile = engine.tile_width
+        manager, batcher = make_manager(mode="advise", engine=engine)
+        feed(manager)
+        assert manager.action_counts["advised"] > 0
+        assert manager.applied == 0
+        assert batcher.bin_limits == {}
+        assert engine.tile_width == static_tile
+
+    def test_on_mode_actuates_bin_limits(self):
+        manager, batcher = make_manager(mode="on")
+        feed(manager)
+        assert manager.applied > 0
+        assert batcher.bin_limits[1] == manager.bin_batch_sizes()[1]
+        assert batcher.bin_limits[1] > 16
+
+    def test_planner_vetoes_growth_below_min_gain(self):
+        manager, batcher = make_manager(mode="on", planner_min_gain=10**6)
+        feed(manager)
+        assert manager.action_counts["vetoed"] > 0
+        assert batcher.bin_limits == {}  # growth never actuated
+
+    def test_kill_switch_reverts_everything(self):
+        engine = get_engine("batched", xdrop=15)
+        static = (engine.tile_width, engine.compact_threshold)
+        manager, batcher = make_manager(
+            mode="on",
+            engine=engine,
+            planner=False,
+            revert_fraction=0.5,
+            revert_batches=2,
+        )
+        # Healthy pre-decision traffic defines the baseline...
+        feed(manager, batches=4, elapsed=0.01)
+        assert manager.applied > 0
+        assert batcher.bin_limits
+        # ...then sustained 100x-slower batches must trip the revert.
+        decisions = feed(manager, batches=2, elapsed=1.0)
+        reverted = [d for d in decisions if d.action == "reverted"]
+        assert len(reverted) == 1
+        assert manager.killed
+        assert batcher.bin_limits == {}
+        assert (engine.tile_width, engine.compact_threshold) == static
+        assert manager.bin_batch_sizes()[1] == 16
+        # A tripped kill-switch ends tuning for good.
+        assert feed(manager, batches=3, elapsed=0.01) == []
+
+    def test_single_regression_does_not_trip(self):
+        manager, _ = make_manager(mode="on", planner=False, revert_batches=3)
+        feed(manager, batches=4, elapsed=0.01)
+        decisions = feed(manager, batches=2, elapsed=1.0)
+        assert all(d.action != "reverted" for d in decisions)
+        assert not manager.killed
+
+    def test_snapshot_shape(self):
+        manager, _ = make_manager(mode="on")
+        feed(manager)
+        snap = manager.snapshot()
+        assert snap["mode"] == "on"
+        assert snap["killed"] is False
+        assert set(snap["decisions"]) == {
+            "applied", "advised", "vetoed", "reverted"
+        }
+        assert snap["bin_batch_sizes"]["1"] > 16
+        assert isinstance(snap["recent"], list) and snap["recent"]
+
+
+class TestTunableKnobs:
+    def test_none_engine_has_no_surface(self):
+        assert tunable_knobs(None) == ()
+
+    def test_batched_engine_exposes_kernel_knobs(self):
+        engine = get_engine("batched", xdrop=15)
+        assert tunable_knobs(engine) == ("tile_width", "compact_threshold")
+
+    def test_reference_engine_has_no_surface(self):
+        assert tunable_knobs(get_engine("reference", xdrop=15)) == ()
+
+
+# --------------------------------------------------------------------------- #
+# Config plumbing.
+# --------------------------------------------------------------------------- #
+class TestAutotuneConfig:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="autotune"):
+            ServiceConfig(autotune="bogus")
+
+    def test_invalid_options_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError, match="autotune_options"):
+            ServiceConfig(autotune="on", autotune_options={"not_a_knob": 1})
+
+    def test_mode_reaches_service_stats(self):
+        config = AlignConfig(
+            engine="batched",
+            xdrop=15,
+            service=ServiceConfig(autotune="advise", max_batch_size=8),
+        )
+        with AlignmentService(config=config) as service:
+            stats = service.stats()
+        assert stats.autotune_mode == "advise"
+        assert stats.autotune["mode"] == "advise"
+
+    def test_off_mode_builds_no_manager(self):
+        with AlignmentService(config=AlignConfig(engine="batched", xdrop=15)) as s:
+            assert s.autotune is None
+            assert s.stats().autotune_mode == "off"
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: tuned results are bit-identical and decisions land.
+# --------------------------------------------------------------------------- #
+class TestServiceIntegration:
+    def tuned_config(self, mode="on"):
+        return AlignConfig(
+            engine="batched",
+            xdrop=15,
+            bin_width=500,
+            service=ServiceConfig(
+                max_batch_size=4,
+                cache_capacity=0,
+                autotune=mode,
+                autotune_options=dict(FAST),
+            ),
+        )
+
+    def test_tuned_service_matches_direct_engine(self):
+        jobs = generate_workload("length_skew", SMALL).jobs
+        direct = get_engine("batched", xdrop=15).align_batch(jobs)
+        with AlignmentService(config=self.tuned_config()) as service:
+            results = service.map(jobs)
+        assert [r.score for r in results] == [r.score for r in direct.results]
+
+    def test_decisions_apply_and_are_observable(self):
+        jobs = generate_workload("length_skew", SMALL).jobs
+        with AlignmentService(config=self.tuned_config()) as service:
+            service.map(jobs)
+            service.map(generate_workload("length_skew", SMALL).jobs)
+            stats = service.stats()
+            manager = service.autotune
+            assert manager is not None
+            assert manager.applied >= 1
+            bound = manager.options.batch_size_bound(4)
+            assert all(
+                size <= bound for size in manager.bin_batch_sizes().values()
+            )
+        assert stats.autotune["decisions"]["applied"] >= 1
+
+    def test_autotune_metrics_series_present(self):
+        jobs = generate_workload("length_skew", SMALL).jobs
+        with AlignmentService(config=self.tuned_config()) as service:
+            service.map(jobs)
+            names = service.obs.registry.names()
+        assert "repro_autotune_decisions_total" in names
+        assert "repro_autotune_bin_batch_size" in names
+        assert "repro_autotune_active" in names

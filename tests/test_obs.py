@@ -448,3 +448,79 @@ class TestConcurrency:
 
         self._hammer(traced)
         assert len(collected) == self.THREADS * self.PER_THREAD
+
+
+# --------------------------------------------------------------------------- #
+# Batcher gauge consistency.
+# --------------------------------------------------------------------------- #
+
+
+class TestBatcherPendingGauge:
+    """``repro_batcher_pending`` must equal ``pending`` after every mutation.
+
+    The batcher has two code paths that refresh the gauge — the still-pending
+    admission branch in :meth:`add` and the flush path in ``_flush_bin`` — and
+    a per-bin limit override that changes which of the two fires.  This test
+    walks every path and asserts the invariant after each step, so a future
+    refactor cannot silently leave the gauge stale on one of them.
+    """
+
+    def _ticket(self, length=100):
+        from repro.core.job import AlignmentJob, Seed
+        from repro.service.queue import AlignmentTicket
+
+        seq = "ACGT" * (length // 4 + 1)
+        return AlignmentTicket(
+            AlignmentJob(query=seq[:length], target=seq[:length], seed=Seed(0, 0, 4))
+        )
+
+    def _gauge_value(self, bundle):
+        return bundle.registry.snapshot().value("repro_batcher_pending")
+
+    def test_gauge_tracks_pending_through_every_flush_path(self):
+        from repro.service.batcher import AdaptiveBatcher, BatchPolicy
+
+        bundle = obs.get_observability().scoped()
+        batcher = AdaptiveBatcher(
+            BatchPolicy(max_batch_size=3, bin_width=0, max_wait_seconds=0.5),
+            obs=bundle,
+        )
+
+        def check():
+            assert self._gauge_value(bundle) == batcher.pending
+
+        check()  # declared at 0 before any traffic
+        # Still-pending admissions refresh via the non-flush branch of add().
+        batcher.add(self._ticket(), now=0.0)
+        check()
+        batcher.add(self._ticket(), now=0.0)
+        check()
+        # Third admission trips the size flush; gauge drops back to zero.
+        formed = batcher.add(self._ticket(), now=0.0)
+        assert formed is not None and formed.reason == "size"
+        check()
+        assert batcher.pending == 0
+
+        # Wait-bound flush (due) refreshes through _flush_bin as well.
+        batcher.add(self._ticket(), now=10.0)
+        check()
+        assert batcher.due(now=10.6)
+        check()
+        assert batcher.pending == 0
+
+        # A per-bin autotune override moves the size-flush boundary: one
+        # admission stays pending under limit 2, the second flushes.
+        batcher.set_bin_limit(0, 2)
+        batcher.add(self._ticket(), now=20.0)
+        check()
+        assert batcher.add(self._ticket(), now=20.0) is not None
+        check()
+
+        # Drain path: two bins pending, flush_all empties both.
+        batcher.clear_bin_limits()
+        batcher.add(self._ticket(), now=30.0)
+        batcher.add(self._ticket(), now=30.0)
+        check()
+        assert len(batcher.flush_all()) == 1
+        check()
+        assert batcher.pending == 0 and self._gauge_value(bundle) == 0

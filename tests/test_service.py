@@ -602,3 +602,108 @@ class TestServiceBackedPipeline:
 
         with pytest.raises(ConfigurationError, match="not both"):
             BellaPipeline(service=AlignmentService(), engine="batched")
+
+
+class TestDispatchResultCountGuard:
+    """Regression: a mismatched engine result list must fail the batch.
+
+    Before the guard, ``_dispatch`` zipped a truncated result list against
+    the batch's tickets — the zip stopped at the shorter side, silently
+    dropping the tail and leaving those submitters blocked forever.
+    """
+
+    def truncate_pool(self, service):
+        """Fault-inject the worker pool: drop the last result of a batch."""
+        orig = service.pool.run_batch
+
+        def run_batch(jobs, **kwargs):
+            run = orig(jobs, **kwargs)
+            if len(run.results) > 1:
+                run.results.pop()
+            return run
+
+        service.pool.run_batch = run_batch
+        return orig
+
+    def test_truncated_results_fail_every_ticket_loudly(self):
+        jobs = mixed_jobs(num_pairs=6, rng_seed=19)
+        service = AlignmentService(
+            engine="batched",
+            scoring=SCORING,
+            xdrop=30,
+            policy=BatchPolicy(max_batch_size=16, bin_width=0),
+        )
+        try:
+            self.truncate_pool(service)
+            tickets = service.submit_many(jobs)
+            service.drain()
+            for ticket in tickets:
+                with pytest.raises(
+                    ServiceError, match="refusing to scatter"
+                ) as excinfo:
+                    ticket.result(timeout=10.0)
+                # The error names both counts so the log is diagnosable.
+                assert "5 results" in str(excinfo.value)
+                assert "batch of 6" in str(excinfo.value)
+            # No ticket was resolved from the truncated list.
+            assert service.stats().completed == 0
+        finally:
+            service.shutdown()
+
+    def test_service_survives_and_serves_after_the_failure(self):
+        jobs = mixed_jobs(num_pairs=4, rng_seed=23)
+        service = AlignmentService(
+            engine="batched",
+            scoring=SCORING,
+            xdrop=30,
+            policy=BatchPolicy(max_batch_size=8, bin_width=0),
+        )
+        try:
+            original = self.truncate_pool(service)
+            failed = service.submit_many(jobs)
+            service.drain()
+            for ticket in failed:
+                with pytest.raises(ServiceError):
+                    ticket.result(timeout=10.0)
+            # Heal the pool: the same service keeps serving correctly.
+            service.pool.run_batch = original
+            direct = get_engine(
+                "batched", scoring=SCORING, xdrop=30
+            ).align_batch(jobs)
+            retried = service.submit_many(jobs)
+            service.drain()
+            scores = [t.result(timeout=10.0).score for t in retried]
+            assert scores == direct.scores()
+        finally:
+            service.shutdown()
+
+    def test_durable_rows_are_released_for_redelivery(self, tmp_path):
+        from repro.api import AlignConfig, ServiceConfig
+
+        jobs = mixed_jobs(num_pairs=4, rng_seed=29)
+        config = AlignConfig(
+            engine="batched",
+            scoring=SCORING,
+            xdrop=30,
+            bin_width=0,  # one bin -> the four jobs form one batch
+            service=ServiceConfig(
+                max_batch_size=8,
+                cache_capacity=0,
+                state_path=str(tmp_path / "state.sqlite"),
+            ),
+        )
+        service = AlignmentService(config=config)
+        try:
+            self.truncate_pool(service)
+            tickets = service.submit_many(jobs)
+            pending_before = service.store.pending_count()
+            service.drain()
+            for ticket in tickets:
+                with pytest.raises(ServiceError):
+                    ticket.result(timeout=10.0)
+            # The rows went inflight for the dispatch, then back to
+            # pending when the mismatched batch was refused — a restart
+            # redelivers them instead of losing them.
+            assert service.store.pending_count() == pending_before
+        finally:
+            service.shutdown()

@@ -386,3 +386,72 @@ def test_service_exposes_kernel_batch_hint():
     payload = stats.to_dict()
     assert "kernel_live_fraction" in payload
     assert "suggested_batch_size" in payload
+
+
+def _window_entry(rows: int, fraction: float) -> BatchKernelStats:
+    """One batch accumulator whose weighted live fraction is ``fraction``."""
+    return BatchKernelStats(
+        rows=rows,
+        steps=rows,
+        row_steps=rows * 10,
+        active_row_steps=int(rows * 10 * fraction),
+        cells=rows * 100,
+        peak_window=64,
+        weighted_rows=rows,
+        weighted_live=fraction * rows,
+    )
+
+
+def test_windowed_stats_trims_to_the_ring():
+    from repro.core.xdrop_batch import WindowedKernelStats
+
+    window = WindowedKernelStats(window=3)
+    for index in range(5):
+        window.observe(_window_entry(rows=8, fraction=0.1 * (index + 1)))
+    # Only the newest three batches survive; lifetime count keeps all five.
+    assert window.batches == 3 and len(window) == 3
+    assert window.total_batches == 5
+    assert window.rows == 24
+    # Mean of the surviving fractions (0.3, 0.4, 0.5), not the lifetime mean.
+    assert window.live_fraction == pytest.approx(0.4, abs=1e-9)
+    assert window.rows_weighted_live_fraction == pytest.approx(0.4, abs=1e-9)
+
+
+def test_windowed_stats_merged_matches_manual_fold():
+    from repro.core.xdrop_batch import WindowedKernelStats
+
+    entries = [_window_entry(rows=4, fraction=0.2), _window_entry(rows=12, fraction=0.9)]
+    window = WindowedKernelStats(window=8)
+    manual = BatchKernelStats()
+    for entry in entries:
+        window.observe(entry)
+        manual.merge(entry)
+    merged = window.merged()
+    assert merged.rows == manual.rows == 16
+    assert merged.cells == manual.cells
+    assert merged.rows_weighted_live_fraction == pytest.approx(
+        manual.rows_weighted_live_fraction
+    )
+    # The windowed hint is the merged accumulator's hint, nothing more.
+    assert window.suggested_batch_size(32) == merged.suggested_batch_size(32)
+
+
+def test_windowed_stats_edge_cases():
+    from repro.core.xdrop_batch import WindowedKernelStats
+
+    with pytest.raises(ConfigurationError):
+        WindowedKernelStats(window=0)
+    empty = WindowedKernelStats(window=4)
+    assert empty.batches == 0 and empty.total_batches == 0
+    assert empty.live_fraction == 1.0
+    assert empty.suggested_batch_size(64) == 64
+    payload = empty.to_dict()
+    assert payload["window"] == 4
+    assert payload["window_batches"] == 0
+    assert payload["total_batches"] == 0
+
+    window = WindowedKernelStats(window=2)
+    window.observe(_window_entry(rows=8, fraction=0.95))
+    payload = window.to_dict()
+    assert payload["window_batches"] == 1 and payload["total_batches"] == 1
+    assert payload["rows"] == 8
